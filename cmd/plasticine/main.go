@@ -1,0 +1,246 @@
+// Command plasticine regenerates the paper's evaluation artefacts from the
+// command line:
+//
+//	plasticine info              architecture summary, area, power envelope
+//	plasticine list              the thirteen Table 4 benchmarks
+//	plasticine run <benchmark>   compile + simulate one benchmark
+//	plasticine table3            parameter selection (Section 3.7)
+//	plasticine table5            area breakdown
+//	plasticine table6            generalization area-overhead ladder
+//	plasticine table7            full evaluation vs the FPGA baseline
+//	plasticine fig7 [-panel a]   design-space sweep panels a-f
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"plasticine/internal/arch"
+	"plasticine/internal/compiler"
+	"plasticine/internal/core"
+	"plasticine/internal/dse"
+	"plasticine/internal/stats"
+	"plasticine/internal/workloads"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	var err error
+	switch cmd {
+	case "info":
+		err = cmdInfo()
+	case "list":
+		err = cmdList()
+	case "run":
+		err = cmdRun(args)
+	case "table3":
+		err = cmdTable3()
+	case "table5":
+		fmt.Print(core.FormatTable5(core.New().Table5()))
+	case "table6":
+		err = cmdTable6()
+	case "table7":
+		err = cmdTable7(args)
+	case "fig7":
+		err = cmdFig7(args)
+	case "bitstream":
+		err = cmdBitstream(args)
+	case "ratios":
+		err = cmdRatios()
+	case "help", "-h", "--help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "plasticine: unknown command %q\n", cmd)
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "plasticine:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: plasticine <command>
+
+commands:
+  info              architecture parameters, area and power envelope
+  list              available benchmarks (Table 4)
+  run <benchmark>   compile and simulate one benchmark vs the FPGA model
+  table3            parameter selection sweep (Section 3.7)
+  table5            area breakdown (Table 5)
+  table6            generalization overhead ladder (Table 6)
+  table7 [-format table|csv|json]
+                    full evaluation (Table 7)
+  fig7 [-panel a]   design-space sweep panel a-f, or "all"
+  bitstream <benchmark> [-json]
+                    emit the compiled configuration (assembly or JSON)
+  ratios            PMU:PCU provisioning study (Section 3.7)`)
+}
+
+func cmdInfo() error {
+	p := arch.Default()
+	fmt.Println(p.String())
+	fmt.Printf("peak %.1f single-precision TFLOPS, %.1f GB/s DRAM, max power %.1f W\n",
+		p.PeakFLOPS()/1e12, p.PeakDRAMBandwidth()/1e9, arch.MaxPower(p))
+	a := arch.Area(p)
+	fmt.Printf("area %.1f mm^2 at 28 nm (PCU %.3f, PMU %.3f per unit)\n",
+		a.ChipTotal(), a.PCUTotal(), a.PMUTotal())
+	return nil
+}
+
+func cmdList() error {
+	t := stats.New("Table 4 benchmarks", "Name", "Scale")
+	for _, b := range workloads.All() {
+		t.Add(b.Name(), b.ScaleNote())
+	}
+	fmt.Print(t.String())
+	return nil
+}
+
+func cmdRun(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("usage: plasticine run <benchmark>")
+	}
+	b, err := workloads.ByName(args[0])
+	if err != nil {
+		return err
+	}
+	r, err := core.New().RunBenchmark(b)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s (%s)\n", r.Name, b.ScaleNote())
+	fmt.Printf("  plasticine: %d cycles = %.1f us at 1 GHz, %.1f W\n", r.Cycles, r.TimeSec*1e6, r.PowerW)
+	fmt.Printf("  utilization: PCU %.1f%%  PMU %.1f%%  AG %.1f%%  FU %.1f%%\n",
+		100*r.Util.PCUFrac, 100*r.Util.PMUFrac, 100*r.Util.AGFrac, 100*r.Util.FUFrac)
+	fmt.Printf("  DRAM: %.2f MB read, %.2f MB written\n", r.DRAMReadMB, r.DRAMWriteMB)
+	fmt.Printf("  fpga baseline: %.1f us, %.1f W\n", r.FPGATimeSec*1e6, r.FPGAPowerW)
+	fmt.Printf("  speedup %.2fx (paper %.1fx), perf/W %.2fx (paper %.1fx)\n",
+		r.Speedup, r.PaperSpeedup, r.PerfPerWatt, r.PaperPerfW)
+	return nil
+}
+
+func cmdBitstream(args []string) error {
+	fs := flag.NewFlagSet("bitstream", flag.ContinueOnError)
+	asJSON := fs.Bool("json", false, "emit JSON instead of the assembly listing")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: plasticine bitstream <benchmark> [-json]")
+	}
+	b, err := workloads.ByName(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	p, err := b.Build()
+	if err != nil {
+		return err
+	}
+	m, err := core.New().Compile(p)
+	if err != nil {
+		return err
+	}
+	bs := compiler.GenerateBitstream(m)
+	if *asJSON {
+		return bs.Encode(os.Stdout)
+	}
+	fmt.Print(bs.Assembly())
+	return nil
+}
+
+func cmdRatios() error {
+	benches, err := dse.LoadBenches()
+	if err != nil {
+		return err
+	}
+	rows, err := dse.RatioStudy(benches, arch.Default())
+	if err != nil {
+		return err
+	}
+	fmt.Print(dse.FormatRatios(rows))
+	return nil
+}
+
+func cmdTable3() error {
+	benches, err := dse.LoadBenches()
+	if err != nil {
+		return err
+	}
+	rows, err := dse.Table3(benches, arch.Default().Chip)
+	if err != nil {
+		return err
+	}
+	fmt.Print(dse.FormatTable3(rows))
+	return nil
+}
+
+func cmdTable6() error {
+	benches, err := dse.LoadBenches()
+	if err != nil {
+		return err
+	}
+	rows, err := dse.Table6(benches, arch.Default())
+	if err != nil {
+		return err
+	}
+	fmt.Print(dse.FormatTable6(rows))
+	return nil
+}
+
+func cmdTable7(args []string) error {
+	fs := flag.NewFlagSet("table7", flag.ContinueOnError)
+	format := fs.String("format", "table", "output format: table, csv, json")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	rows, err := core.New().Table7()
+	if err != nil {
+		return err
+	}
+	switch *format {
+	case "table":
+		fmt.Print(core.FormatTable7(rows))
+	case "csv":
+		fmt.Print(core.Table7CSV(rows))
+	case "json":
+		b, err := core.Table7JSON(rows)
+		if err != nil {
+			return err
+		}
+		fmt.Println(string(b))
+	default:
+		return fmt.Errorf("unknown format %q", *format)
+	}
+	return nil
+}
+
+func cmdFig7(args []string) error {
+	fs := flag.NewFlagSet("fig7", flag.ContinueOnError)
+	panel := fs.String("panel", "a", "panel to compute: a-f or all")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	benches, err := dse.LoadBenches()
+	if err != nil {
+		return err
+	}
+	panels := []string{*panel}
+	if *panel == "all" {
+		panels = []string{"a", "b", "c", "d", "e", "f"}
+	}
+	for _, id := range panels {
+		p, err := dse.Figure7(id, benches, arch.Default().Chip)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("panel %s:\n%s\n", id, p.Format())
+	}
+	return nil
+}

@@ -1,0 +1,17 @@
+// Package plasticine reproduces "Plasticine: A Reconfigurable Architecture
+// For Parallel Patterns" (Prabhakar et al., ISCA 2017) as a pure-Go stack:
+// the parallel-pattern programming model, a DHDL-like hierarchical dataflow
+// IR, a compiler (virtual-unit allocation, SIMD stage scheduling,
+// partitioning, placement and routing), a cycle-level simulator with a DDR3
+// memory model, area/power models seeded from the paper's synthesis
+// results, an analytical Stratix V FPGA baseline, the thirteen Table 4
+// benchmarks, and the design-space-exploration harnesses behind Tables 3,
+// 5, 6 and 7 and Figure 7.
+//
+// See README.md for a tour, DESIGN.md for the system inventory, and
+// EXPERIMENTS.md for paper-vs-measured results. The bench targets in
+// bench_test.go regenerate every measured artefact:
+//
+//	go test -bench=Table7 -benchtime=1x .
+//	go run ./cmd/plasticine table7
+package plasticine

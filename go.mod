@@ -1,0 +1,3 @@
+module plasticine
+
+go 1.22

@@ -1,0 +1,73 @@
+package arch
+
+// Power model, seeded from the paper's PrimeTime profiling (Section 4.2):
+// the chip consumes a maximum of 49 W at 1 GHz; per-benchmark powers
+// (Table 7) range from 10.7 W (SGD, mostly clock-gated) to 42.6 W (CNN).
+//
+// Unused units are power gated (Section 4.5), so chip power is static
+// power plus the dynamic power of the units a benchmark actually occupies,
+// scaled by their datapath activity.
+const (
+	// staticPowerW is leakage plus always-on clocking for the whole chip.
+	staticPowerW = 5.0
+
+	// pcuBasePowerW is the dynamic power of an active PCU's control,
+	// counters, FIFOs and interconnect interface, independent of how many
+	// FU slots do useful work.
+	pcuBasePowerW = 0.22
+
+	// pcuFUPowerW is the additional dynamic power of a PCU whose FUs are
+	// fully utilised (all lanes, all stages switching every cycle).
+	pcuFUPowerW = 0.20
+
+	// pmuPowerW is the dynamic power of an active PMU (SRAM banks plus
+	// address datapath).
+	pmuPowerW = 0.15
+
+	// agPowerW is the dynamic power of an active address generator.
+	agPowerW = 0.07
+
+	// coalescingUnitPowerW is the dynamic power of one active coalescing
+	// unit including its DDR PHY activity.
+	coalescingUnitPowerW = 0.50
+
+	// networkPowerW is the dynamic power of the static interconnect at
+	// full activity; it scales with the fraction of active units.
+	networkPowerW = 3.0
+)
+
+// Activity describes how a benchmark occupies the fabric; utilisations are
+// fractions in [0,1] as reported in Table 7.
+type Activity struct {
+	PCUUtil float64 // fraction of PCUs configured and active
+	PMUUtil float64 // fraction of PMUs configured and active
+	AGUtil  float64 // fraction of address generators active
+	FUUtil  float64 // fraction of FU slots in active PCUs doing useful work
+}
+
+// Power returns total chip power in watts for the given activity.
+func Power(p Params, a Activity) float64 {
+	activePCUs := a.PCUUtil * float64(p.NumPCUs())
+	activePMUs := a.PMUUtil * float64(p.NumPMUs())
+	activeAGs := a.AGUtil * float64(p.NumAGs())
+	// Scale per-unit power with unit size relative to the final design.
+	pcuScale := float64(p.PCU.Lanes*p.PCU.Stages) / 96
+	pmuScale := float64(p.PMU.BankKB*p.PMU.Banks) / 256
+	unitActivity := (a.PCUUtil + a.PMUUtil) / 2
+
+	pw := staticPowerW
+	pw += activePCUs * (pcuBasePowerW + pcuFUPowerW*a.FUUtil) * pcuScale
+	pw += activePMUs * pmuPowerW * pmuScale
+	pw += activeAGs * agPowerW
+	if a.AGUtil > 0 {
+		pw += float64(p.Chip.CoalescingUnit) * coalescingUnitPowerW
+	}
+	pw += networkPowerW * unitActivity
+	return pw
+}
+
+// MaxPower returns the chip's maximum power: every unit active with fully
+// utilised datapaths. For the final architecture this is ~49 W (Abstract).
+func MaxPower(p Params) float64 {
+	return Power(p, Activity{PCUUtil: 1, PMUUtil: 1, AGUtil: 1, FUUtil: 1})
+}

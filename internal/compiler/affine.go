@@ -1,0 +1,212 @@
+package compiler
+
+import (
+	"plasticine/internal/dhdl"
+	"plasticine/internal/pattern"
+)
+
+// Affine is a linear form over counter levels: Const + sum(Coeff[l] * i_l).
+// Address expressions that fit this form get static banking; anything else
+// is a data-dependent (random) access.
+type Affine struct {
+	Coeff map[int]int64
+	Const int64
+}
+
+// AnalyzeAffine decomposes an address expression into an affine form over
+// counter levels. The second result is false for non-affine addresses
+// (data-dependent indices, products of counters, and so on).
+func AnalyzeAffine(e dhdl.Expr) (Affine, bool) {
+	a, ok := affine(e)
+	if !ok {
+		return Affine{}, false
+	}
+	if a.Coeff == nil {
+		a.Coeff = map[int]int64{}
+	}
+	return a, true
+}
+
+func affine(e dhdl.Expr) (Affine, bool) {
+	switch n := e.(type) {
+	case *dhdl.Lit:
+		// Only integer literals participate in addressing.
+		if n.V.T != pattern.I32 {
+			return Affine{}, false
+		}
+		return Affine{Const: int64(n.V.I)}, true
+	case *dhdl.Ctr:
+		return Affine{Coeff: map[int]int64{n.Level: 1}}, true
+	case *dhdl.Bin:
+		x, okX := affine(n.X)
+		y, okY := affine(n.Y)
+		switch n.Op {
+		case pattern.Add:
+			if okX && okY {
+				return addAffine(x, y, 1), true
+			}
+		case pattern.Sub:
+			if okX && okY {
+				return addAffine(x, y, -1), true
+			}
+		case pattern.Mul:
+			// One side must be a pure constant.
+			if okX && okY {
+				if len(x.Coeff) == 0 {
+					return scaleAffine(y, x.Const), true
+				}
+				if len(y.Coeff) == 0 {
+					return scaleAffine(x, y.Const), true
+				}
+			}
+		}
+		return Affine{}, false
+	}
+	return Affine{}, false
+}
+
+func addAffine(x, y Affine, sign int64) Affine {
+	out := Affine{Coeff: map[int]int64{}, Const: x.Const + sign*y.Const}
+	for l, c := range x.Coeff {
+		out.Coeff[l] += c
+	}
+	for l, c := range y.Coeff {
+		out.Coeff[l] += sign * c
+	}
+	for l, c := range out.Coeff {
+		if c == 0 {
+			delete(out.Coeff, l)
+		}
+	}
+	return out
+}
+
+func scaleAffine(x Affine, k int64) Affine {
+	out := Affine{Coeff: map[int]int64{}, Const: x.Const * k}
+	for l, c := range x.Coeff {
+		if c*k != 0 {
+			out.Coeff[l] = c * k
+		}
+	}
+	return out
+}
+
+// LaneStride returns the address stride across SIMD lanes (the coefficient
+// of the given innermost counter level).
+func (a Affine) LaneStride(laneLevel int) int64 { return a.Coeff[laneLevel] }
+
+func gcd(a, b int64) int64 {
+	if a < 0 {
+		a = -a
+	}
+	if b < 0 {
+		b = -b
+	}
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+// ConflictFactor returns how many cycles a banked SRAM needs to serve one
+// vector of lanes accessing with this stride: 1 when conflict-free
+// (consecutive or broadcast), banks/gcd-limited otherwise
+// (e.g. stride 2 over 16 banks touches only 8 banks, so two lanes collide
+// per bank and the access takes 2 cycles).
+func (a Affine) ConflictFactor(laneLevel, banks int) int {
+	s := a.LaneStride(laneLevel)
+	if s == 0 {
+		return 1 // broadcast: every lane reads the same word
+	}
+	g := gcd(s, int64(banks))
+	return int(g)
+}
+
+// LaneStride computes how an address varies across SIMD lanes: the
+// coefficient of the lane-level counter, treating lane-invariant subtrees
+// (even data-dependent ones, like a per-point cluster id) as constants.
+// ok is false when the address depends on the lane in a non-affine way —
+// a per-lane gather/scatter.
+func LaneStride(e dhdl.Expr, laneLevel int) (stride int64, ok bool) {
+	if e == nil {
+		return 0, true
+	}
+	if !usesLevel(e, laneLevel) {
+		return 0, true
+	}
+	switch n := e.(type) {
+	case *dhdl.Ctr:
+		if n.Level == laneLevel {
+			return 1, true
+		}
+		return 0, true
+	case *dhdl.Bin:
+		switch n.Op {
+		case pattern.Add, pattern.Sub:
+			x, okX := LaneStride(n.X, laneLevel)
+			y, okY := LaneStride(n.Y, laneLevel)
+			if !okX || !okY {
+				return 0, false
+			}
+			if n.Op == pattern.Sub {
+				y = -y
+			}
+			return x + y, true
+		case pattern.Mul:
+			// stride scales only by literal constants.
+			if k, isConst := litInt(n.X); isConst {
+				s, sok := LaneStride(n.Y, laneLevel)
+				return s * k, sok
+			}
+			if k, isConst := litInt(n.Y); isConst {
+				s, sok := LaneStride(n.X, laneLevel)
+				return s * k, sok
+			}
+		}
+	}
+	return 0, false
+}
+
+func litInt(e dhdl.Expr) (int64, bool) {
+	if l, isLit := e.(*dhdl.Lit); isLit && l.V.T == pattern.I32 {
+		return int64(l.V.I), true
+	}
+	return 0, false
+}
+
+func usesLevel(e dhdl.Expr, level int) bool {
+	found := false
+	dhdl.Walk(e, func(x dhdl.Expr) {
+		if c, isCtr := x.(*dhdl.Ctr); isCtr && c.Level == level {
+			found = true
+		}
+	})
+	return found
+}
+
+// StrideConflictFactor is the cycles a banked scratchpad needs to serve one
+// vector whose addresses step by stride across lanes: gcd(stride, banks)
+// lanes collide per bank. Stride 0 is a broadcast (one read feeds every
+// lane); negative strides behave like their magnitude.
+func StrideConflictFactor(stride int64, banks int) int {
+	if stride == 0 {
+		return 1
+	}
+	return int(gcd(stride, int64(banks)))
+}
+
+// randomWriteFactor models sequentialised random vector writes: the write
+// sequencer coalesces same-burst lanes, sustaining ~4 distinct random
+// addresses per cycle (Section 2.2: "random write commands must be
+// sequentialized and coalesced").
+const randomWriteFactor = 4
+
+// BankingFor picks the scratchpad banking mode an access pattern needs:
+// strided for lane-affine accesses, duplication for per-lane random reads
+// (Section 3.2).
+func BankingFor(addr dhdl.Expr, laneLevel int) dhdl.BankingMode {
+	if _, ok := LaneStride(addr, laneLevel); ok {
+		return dhdl.Strided
+	}
+	return dhdl.Duplication
+}

@@ -1,0 +1,159 @@
+package compiler
+
+import (
+	"testing"
+
+	"plasticine/internal/arch"
+	"plasticine/internal/dhdl"
+	"plasticine/internal/pattern"
+)
+
+func TestAnalyzeAffine(t *testing.T) {
+	cases := []struct {
+		e     dhdl.Expr
+		coeff map[int]int64
+		k     int64
+		ok    bool
+	}{
+		{dhdl.CI(5), map[int]int64{}, 5, true},
+		{dhdl.Idx(1), map[int]int64{1: 1}, 0, true},
+		{dhdl.Add(dhdl.Mul(dhdl.Idx(0), dhdl.CI(32)), dhdl.Idx(1)), map[int]int64{0: 32, 1: 1}, 0, true},
+		{dhdl.Sub(dhdl.Mul(dhdl.CI(4), dhdl.Idx(2)), dhdl.CI(3)), map[int]int64{2: 4}, -3, true},
+		{dhdl.Sub(dhdl.Idx(0), dhdl.Idx(0)), map[int]int64{}, 0, true},       // cancels
+		{dhdl.Mul(dhdl.Idx(0), dhdl.Idx(1)), nil, 0, false},                  // quadratic
+		{dhdl.Ld(&dhdl.SRAM{Name: "s", Size: 4}, dhdl.CI(0)), nil, 0, false}, // data-dependent
+		{dhdl.CF(1.5), nil, 0, false},                                        // float literal is not an address
+	}
+	for i, c := range cases {
+		a, ok := AnalyzeAffine(c.e)
+		if ok != c.ok {
+			t.Errorf("case %d: ok = %v, want %v", i, ok, c.ok)
+			continue
+		}
+		if !ok {
+			continue
+		}
+		if a.Const != c.k {
+			t.Errorf("case %d: const = %d, want %d", i, a.Const, c.k)
+		}
+		if len(a.Coeff) != len(c.coeff) {
+			t.Errorf("case %d: coeff = %v, want %v", i, a.Coeff, c.coeff)
+			continue
+		}
+		for l, v := range c.coeff {
+			if a.Coeff[l] != v {
+				t.Errorf("case %d: coeff[%d] = %d, want %d", i, l, a.Coeff[l], v)
+			}
+		}
+	}
+}
+
+func TestLaneStride(t *testing.T) {
+	s := &dhdl.SRAM{Name: "tbl", Size: 64}
+	const lane = 2
+	cases := []struct {
+		e      dhdl.Expr
+		stride int64
+		ok     bool
+	}{
+		{dhdl.Idx(lane), 1, true},
+		{dhdl.Add(dhdl.Mul(dhdl.Idx(0), dhdl.CI(8)), dhdl.Idx(lane)), 1, true},
+		{dhdl.Mul(dhdl.Idx(lane), dhdl.CI(4)), 4, true},
+		{dhdl.Idx(0), 0, true}, // lane-invariant
+		// Data-dependent but lane-invariant base: still affine in the lane.
+		{dhdl.Add(dhdl.Mul(dhdl.Ld(s, dhdl.Idx(0)), dhdl.CI(8)), dhdl.Idx(lane)), 1, true},
+		// Per-lane gather: not affine.
+		{dhdl.Ld(s, dhdl.Idx(lane)), 0, false},
+		// Lane times a data-dependent value: unknown stride.
+		{dhdl.Mul(dhdl.Idx(lane), dhdl.Ld(s, dhdl.CI(0))), 0, false},
+	}
+	for i, c := range cases {
+		stride, ok := LaneStride(c.e, lane)
+		if ok != c.ok || (ok && stride != c.stride) {
+			t.Errorf("case %d: (%d, %v), want (%d, %v)", i, stride, ok, c.stride, c.ok)
+		}
+	}
+}
+
+func TestStrideConflictFactor(t *testing.T) {
+	cases := []struct {
+		stride int64
+		banks  int
+		want   int
+	}{
+		{0, 16, 1}, // broadcast
+		{1, 16, 1}, // conflict-free
+		{3, 16, 1}, // coprime
+		{2, 16, 2}, // half the banks
+		{8, 16, 8}, // two banks
+		{16, 16, 16},
+		{-2, 16, 2}, // magnitude
+	}
+	for _, c := range cases {
+		if got := StrideConflictFactor(c.stride, c.banks); got != c.want {
+			t.Errorf("StrideConflictFactor(%d, %d) = %d, want %d", c.stride, c.banks, got, c.want)
+		}
+	}
+}
+
+func TestBankingForSelectsDuplicationOnGather(t *testing.T) {
+	s := &dhdl.SRAM{Name: "idx", Size: 64}
+	if got := BankingFor(dhdl.Idx(0), 0); got != dhdl.Strided {
+		t.Errorf("streaming access got %v, want strided", got)
+	}
+	if got := BankingFor(dhdl.Ld(s, dhdl.Idx(0)), 0); got != dhdl.Duplication {
+		t.Errorf("per-lane gather got %v, want duplication", got)
+	}
+}
+
+func TestCompileSetsIIFromBankConflicts(t *testing.T) {
+	// Lanes read addr i*8 over 16 banks -> gcd 8 -> II 8.
+	build := func(stride int32) *dhdl.Program {
+		b := dhdl.NewBuilder("conf", dhdl.Sequential)
+		src := b.SRAM("src", pattern.F32, 8192)
+		dst := b.SRAM("dst", pattern.F32, 1024)
+		b.Compute("c", []dhdl.Counter{dhdl.CPar(1024, 16)}, func(ix []dhdl.Expr) []*dhdl.Assign {
+			return []*dhdl.Assign{dhdl.StoreAt(dst, ix[0],
+				dhdl.Ld(src, dhdl.Mul(ix[0], dhdl.CI(stride))))}
+		})
+		return b.MustBuild()
+	}
+	leafII := func(p *dhdl.Program) int {
+		m, err := Compile(p, arch.Default())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for leaf, lm := range m.Leaves {
+			if leaf.Name == "c" {
+				return lm.II
+			}
+		}
+		t.Fatal("leaf not found")
+		return 0
+	}
+	if ii := leafII(build(1)); ii != 1 {
+		t.Errorf("stride-1 II = %d, want 1", ii)
+	}
+	if ii := leafII(build(8)); ii != 8 {
+		t.Errorf("stride-8 II = %d, want 8 (bank conflicts)", ii)
+	}
+}
+
+func TestCompileAutoSelectsDuplicationBanking(t *testing.T) {
+	b := dhdl.NewBuilder("dup", dhdl.Sequential)
+	idx := b.SRAM("idx", pattern.I32, 1024)
+	tbl := b.SRAM("tbl", pattern.F32, 1024)
+	dst := b.SRAM("dst", pattern.F32, 1024)
+	b.Compute("g", []dhdl.Counter{dhdl.CPar(1024, 16)}, func(ix []dhdl.Expr) []*dhdl.Assign {
+		return []*dhdl.Assign{dhdl.StoreAt(dst, ix[0], dhdl.Ld(tbl, dhdl.Ld(idx, ix[0])))}
+	})
+	if _, err := Compile(b.MustBuild(), arch.Default()); err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Banking != dhdl.Duplication {
+		t.Errorf("on-chip gather target banking = %v, want duplication (compiler-selected)", tbl.Banking)
+	}
+	if idx.Banking != dhdl.Strided {
+		t.Errorf("streamed index banking = %v, want strided", idx.Banking)
+	}
+}

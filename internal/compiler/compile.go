@@ -1,0 +1,221 @@
+package compiler
+
+import (
+	"fmt"
+	"strings"
+
+	"plasticine/internal/arch"
+	"plasticine/internal/dhdl"
+)
+
+// LeafMap is the simulator-facing mapping of one leaf controller.
+type LeafMap struct {
+	// PCUs is the number of chained physical PCUs (1 for transfers' AGs).
+	PCUs int
+	// Lanes is the SIMD width of the leaf.
+	Lanes int
+	// Unroll is the outer-parallelization duplication factor.
+	Unroll int
+	// PipelineDepth is the total latency in cycles from operand arrival to
+	// result: PMU read latency + compute stages + inter-unit hops.
+	PipelineDepth int
+	// II is the initiation interval in cycles per vector firing.
+	II int
+}
+
+// MemMap is the mapping of one SRAM.
+type MemMap struct {
+	PMUs  int // physical PMUs holding (pieces/copies of) the buffer
+	NBuf  int
+	Banks int
+}
+
+// Utilization summarises fabric occupancy, matching Table 7's columns.
+type Utilization struct {
+	PCUs, PMUs, AGs int
+	PCUFrac         float64 // fraction of chip PCUs configured
+	PMUFrac         float64
+	AGFrac          float64
+	FUFrac          float64 // fraction of FU slots in used PCUs doing work
+	RegFrac         float64 // fraction of pipeline registers holding live values
+}
+
+// Mapping is the compiled form of a program: the "bitstream"-level
+// description the simulator interprets plus resource accounting.
+type Mapping struct {
+	Prog    *dhdl.Program
+	Params  arch.Params
+	Virtual *Virtual
+	Part    *Partitioned
+	Netlist *Netlist
+
+	Leaves map[*dhdl.Controller]*LeafMap
+	Mems   map[*dhdl.SRAM]*MemMap
+	Util   Utilization
+}
+
+// pmuReadLatency is the cycles from read-address issue to data on the
+// vector output: the PMU address datapath plus SRAM access.
+func pmuReadLatency(p arch.Params) int { return p.PMU.Stages + 2 }
+
+// Compile runs the full flow: allocate virtual units, partition them into
+// physical units under params, place and route, and derive per-leaf timing
+// for the simulator. It fails if the program cannot be expressed on the
+// fabric (constraint violations) or does not fit (too few units).
+func Compile(p *dhdl.Program, params arch.Params) (*Mapping, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	v, err := Allocate(p)
+	if err != nil {
+		return nil, err
+	}
+	part, err := Partition(v, params)
+	if err != nil {
+		return nil, err
+	}
+	if part.TotalPCUs > params.NumPCUs() {
+		return nil, fmt.Errorf("compiler: %s needs %d PCUs, chip has %d", p.Name, part.TotalPCUs, params.NumPCUs())
+	}
+	if part.TotalPMUs > params.NumPMUs() {
+		return nil, fmt.Errorf("compiler: %s needs %d PMUs, chip has %d", p.Name, part.TotalPMUs, params.NumPMUs())
+	}
+	if part.TotalAGs > params.NumAGs() {
+		return nil, fmt.Errorf("compiler: %s needs %d AGs, chip has %d", p.Name, part.TotalAGs, params.NumAGs())
+	}
+	nl := BuildNetlist(part)
+	if err := Place(nl, params); err != nil {
+		return nil, err
+	}
+
+	m := &Mapping{
+		Prog:    p,
+		Params:  params,
+		Virtual: v,
+		Part:    part,
+		Netlist: nl,
+		Leaves:  map[*dhdl.Controller]*LeafMap{},
+		Mems:    map[*dhdl.SRAM]*MemMap{},
+	}
+	for _, pc := range part.PCUs {
+		chain := nl.LeafChain[pc.V.Leaf]
+		depth := pmuReadLatency(params)
+		stages := 0
+		for _, part := range pc.Parts {
+			stages += part.StagesUsed
+		}
+		depth += stages
+		for i := 1; i < len(chain); i++ {
+			depth += RouteHops(nl.Nodes[chain[i-1]], nl.Nodes[chain[i]])
+		}
+		// Input route: longest hop from any source PMU to the first PCU
+		// adds registered-switch latency ahead of the pipeline.
+		if len(chain) > 0 {
+			first := nl.Nodes[chain[0]]
+			maxHop := 0
+			for _, vi := range pc.V.VecIns {
+				if vi.SRAM != nil {
+					if mn, ok := nl.MemNode[vi.SRAM]; ok {
+						if h := RouteHops(first, nl.Nodes[mn]); h > maxHop {
+							maxHop = h
+						}
+					}
+				}
+			}
+			depth += maxHop
+		}
+		// Initiation interval: bank conflicts and sequentialised random
+		// writes throttle the firing rate below one vector per cycle.
+		ii := 1
+		for _, ra := range pc.V.ReadAccess {
+			if ra.Affine {
+				if f := StrideConflictFactor(ra.Stride, params.PMU.Banks); f > ii {
+					ii = f
+				}
+			}
+			// Non-affine reads are served by duplication-mode banks at
+			// full rate.
+		}
+		for _, wa := range pc.V.WriteAccess {
+			f := randomWriteFactor
+			if wa.Affine {
+				f = StrideConflictFactor(wa.Stride, params.PMU.Banks)
+			}
+			if pc.V.Lanes == 1 {
+				f = 1 // a single lane never conflicts with itself
+			}
+			if f > ii {
+				ii = f
+			}
+		}
+		m.Leaves[pc.V.Leaf] = &LeafMap{
+			PCUs:          len(pc.Parts),
+			Lanes:         pc.V.Lanes,
+			Unroll:        pc.V.Unroll,
+			PipelineDepth: depth,
+			II:            ii,
+		}
+	}
+	for _, ag := range v.AGs {
+		m.Leaves[ag.Leaf] = &LeafMap{PCUs: 0, Lanes: 1, Unroll: ag.Unroll, PipelineDepth: 4, II: 1}
+	}
+	for _, pm := range part.PMUs {
+		m.Mems[pm.V.Mem] = &MemMap{PMUs: pm.Units(), NBuf: pm.V.NBuf, Banks: params.PMU.Banks}
+	}
+	m.Util = computeUtil(part, params)
+	return m, nil
+}
+
+func computeUtil(part *Partitioned, params arch.Params) Utilization {
+	u := Utilization{
+		PCUs: part.TotalPCUs,
+		PMUs: part.TotalPMUs,
+		AGs:  part.TotalAGs,
+	}
+	u.PCUFrac = float64(part.TotalPCUs) / float64(params.NumPCUs())
+	u.PMUFrac = float64(part.TotalPMUs) / float64(params.NumPMUs())
+	u.AGFrac = float64(part.TotalAGs) / float64(params.NumAGs())
+	if part.TotalPCUs > 0 {
+		slotsPerPCU := int64(params.PCU.Lanes * params.PCU.Stages)
+		u.FUFrac = float64(part.UsedFUSlots) / float64(int64(part.TotalPCUs)*slotsPerPCU)
+		if u.FUFrac > 1 {
+			u.FUFrac = 1
+		}
+	}
+	// Register occupancy: live values vs available registers in used PCUs.
+	var liveSum, regCap int64
+	for _, pc := range part.PCUs {
+		for _, ph := range pc.Parts {
+			liveSum += int64(ph.MaxLive*ph.StagesUsed*params.PCU.Lanes) * int64(pc.V.Unroll)
+			regCap += int64(params.PCU.Stages*params.PCU.Registers*params.PCU.Lanes) * int64(pc.V.Unroll)
+		}
+	}
+	if regCap > 0 {
+		u.RegFrac = float64(liveSum) / float64(regCap)
+		if u.RegFrac > 1 {
+			u.RegFrac = 1
+		}
+	}
+	return u
+}
+
+// Summary renders a human-readable mapping report.
+func (m *Mapping) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "program %s on %s\n", m.Prog.Name, m.Params.String())
+	fmt.Fprintf(&b, "  PCUs %d/%d (%.1f%%)  PMUs %d/%d (%.1f%%)  AGs %d/%d (%.1f%%)  FU %.1f%%\n",
+		m.Util.PCUs, m.Params.NumPCUs(), 100*m.Util.PCUFrac,
+		m.Util.PMUs, m.Params.NumPMUs(), 100*m.Util.PMUFrac,
+		m.Util.AGs, m.Params.NumAGs(), 100*m.Util.AGFrac,
+		100*m.Util.FUFrac)
+	for _, pc := range m.Part.PCUs {
+		lm := m.Leaves[pc.V.Leaf]
+		fmt.Fprintf(&b, "  compute %-20s %d part(s) x%d unroll, %d lanes, depth %d\n",
+			pc.V.Name, len(pc.Parts), pc.V.Unroll, pc.V.Lanes, lm.PipelineDepth)
+	}
+	for _, pm := range m.Part.PMUs {
+		fmt.Fprintf(&b, "  memory  %-20s %d PMU(s), %d-buffered, %d support PCU(s)\n",
+			pm.V.Name, pm.Units(), pm.V.NBuf, pm.SupportPCUs)
+	}
+	return b.String()
+}

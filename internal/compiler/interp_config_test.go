@@ -1,0 +1,125 @@
+package compiler
+
+import (
+	"math"
+	"testing"
+
+	"plasticine/internal/arch"
+	"plasticine/internal/pattern"
+)
+
+// TestStageProgramMatchesSemantics executes the generated 'mac' stage
+// program (mul + cross-lane reduce) directly and compares against the
+// arithmetic it was compiled from.
+func TestStageProgramMatchesSemantics(t *testing.T) {
+	bs := GenerateBitstream(dotMapping(t))
+	var mac *PCUConfig
+	for i := range bs.PCUs {
+		if bs.PCUs[i].Leaf == "mac" {
+			mac = &bs.PCUs[i]
+		}
+	}
+	if mac == nil {
+		t.Fatal("mac config missing")
+	}
+	lanes := make([]LaneEnv, 16)
+	var want float64
+	for l := range lanes {
+		a := float32(l) * 0.5
+		b := float32(16 - l)
+		lanes[l] = LaneEnv{Vec: []pattern.Value{pattern.VF(a), pattern.VF(b)}}
+		want += float64(a) * float64(b)
+	}
+	regs, err := EvalStageProgram(mac.Stages, lanes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The reduce broadcasts the folded value into its dst on every lane.
+	dst := mac.Stages[len(mac.Stages)-1].Dst
+	got := float64(regs[0][dst].F)
+	if math.Abs(got-want) > 1e-3 {
+		t.Errorf("stage program computed %g, want %g", got, want)
+	}
+	for l := 1; l < 16; l++ {
+		if regs[l][dst] != regs[0][dst] {
+			t.Errorf("reduce result not broadcast to lane %d", l)
+		}
+	}
+}
+
+// TestStageProgramDeepPipeline cross-checks a multi-op pipeline (no
+// reduction) lane by lane.
+func TestStageProgramDeepPipeline(t *testing.T) {
+	u := &VirtualPCU{Name: "poly", Lanes: 4, Unroll: 1}
+	u.VecIns = []VecInput{{}}
+	x := Operand{Kind: VecIn, ID: 0}
+	// y = (x*x + 2)*x - 1  -> mul, add, mul, sub
+	mul1 := &VOp{ID: 0, Kind: ALUOp, ALU: pattern.Mul, Args: []Operand{x, x}}
+	add := &VOp{ID: 1, Kind: ALUOp, ALU: pattern.Add, Args: []Operand{{Kind: OpResult, ID: 0}, {Kind: ConstOperand, Const: pattern.VF(2)}}}
+	mul2 := &VOp{ID: 2, Kind: ALUOp, ALU: pattern.Mul, Args: []Operand{{Kind: OpResult, ID: 1}, x}}
+	sub := &VOp{ID: 3, Kind: ALUOp, ALU: pattern.Sub, Args: []Operand{{Kind: OpResult, ID: 2}, {Kind: ConstOperand, Const: pattern.VF(1)}}}
+	u.Ops = []*VOp{mul1, add, mul2, sub}
+	u.Outs = []VOut{{Kind: OutVecSRAM, Src: Operand{Kind: OpResult, ID: 3}}}
+
+	parts, err := PartitionPCU(u, arch.Default().PCU)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parts) != 1 {
+		t.Fatalf("got %d partitions", len(parts))
+	}
+	stages, _ := pcuStageProgram(u, parts[0])
+	lanes := []LaneEnv{
+		{Vec: []pattern.Value{pattern.VF(0)}},
+		{Vec: []pattern.Value{pattern.VF(1)}},
+		{Vec: []pattern.Value{pattern.VF(2)}},
+		{Vec: []pattern.Value{pattern.VF(-3)}},
+	}
+	regs, err := EvalStageProgram(stages, lanes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := stages[len(stages)-1].Dst
+	for l, env := range lanes {
+		xv := env.Vec[0].F
+		want := (xv*xv+2)*xv - 1
+		if got := regs[l][dst].F; got != want {
+			t.Errorf("lane %d: got %g, want %g", l, got, want)
+		}
+	}
+}
+
+func TestStageProgramErrors(t *testing.T) {
+	cases := []StageConfig{
+		{Op: "bogus", Srcs: []string{"v0", "v0"}, Dst: "r0"},
+		{Op: "add", Srcs: []string{"r9", "v0"}, Dst: "r0"},  // unwritten reg
+		{Op: "add", Srcs: []string{"v7", "v0"}, Dst: "r0"},  // missing bus
+		{Op: "add", Srcs: []string{"#q1", "v0"}, Dst: "r0"}, // bad const
+		{Op: "add", Srcs: []string{"xt3", "v0"}, Dst: "r0"}, // missing crossing
+	}
+	for i, st := range cases {
+		lanes := []LaneEnv{{Vec: []pattern.Value{pattern.VF(1)}}}
+		if _, err := EvalStageProgram([]StageConfig{st}, lanes); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestParseConst(t *testing.T) {
+	cases := []struct {
+		in   string
+		want pattern.Value
+	}{
+		{"#i3", pattern.VI(3)},
+		{"#i-7", pattern.VI(-7)},
+		{"#f1.5", pattern.VF(1.5)},
+		{"#btrue", pattern.VB(true)},
+		{"#f2e3", pattern.VF(2000)},
+	}
+	for _, c := range cases {
+		got, err := parseConst(c.in)
+		if err != nil || got != c.want {
+			t.Errorf("parseConst(%q) = %+v, %v; want %+v", c.in, got, err, c.want)
+		}
+	}
+}

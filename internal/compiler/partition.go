@@ -1,0 +1,438 @@
+package compiler
+
+import (
+	"fmt"
+	"math/bits"
+
+	"plasticine/internal/arch"
+)
+
+// PhysPCU is one physical PCU's worth of a virtual PCU after partitioning.
+type PhysPCU struct {
+	Ops        []*VOp
+	StagesUsed int
+	MaxLive    int
+	VecIns     int
+	ScalIns    int
+	VecOuts    int
+	ScalOuts   int
+}
+
+// PartPCU maps one virtual PCU to its physical partitions.
+type PartPCU struct {
+	V     *VirtualPCU
+	Parts []*PhysPCU
+}
+
+// Units returns physical PCUs needed including unrolling.
+func (p PartPCU) Units() int { return len(p.Parts) * p.V.Unroll }
+
+// PartPMU maps one virtual PMU to physical PMUs.
+type PartPMU struct {
+	V *VirtualPMU
+	// Copies is physical PMUs per logical instance: capacity splits times
+	// read-port duplication.
+	Copies int
+	// SupportPCUs is extra PCUs for address calculations that do not fit
+	// the PMU datapath (Section 3.6: "PMUs become one PMU with zero or
+	// more supporting PCUs").
+	SupportPCUs int
+}
+
+// Units returns physical PMUs needed including unrolling.
+func (p PartPMU) Units() int { return p.Copies * p.V.Unroll }
+
+// Partitioned is the physical-unit requirement of a program under a
+// parameter set, before placement.
+type Partitioned struct {
+	Virtual *Virtual
+	PCUs    []PartPCU
+	PMUs    []PartPMU
+
+	TotalPCUs int
+	TotalPMUs int
+	TotalAGs  int
+
+	// UsedFUSlots counts ALU slots executing real ops across all physical
+	// PCUs (lanes x op stages), for FU utilization.
+	UsedFUSlots int64
+}
+
+// reduceStages is the pipeline depth of a cross-lane reduction: log2(lanes)
+// tree levels plus the accumulator stage. With 16 lanes this is 5, which is
+// why Figure 7a marks fewer than 5 stages infeasible for most benchmarks.
+func reduceStages(lanes int) int {
+	if lanes <= 1 {
+		return 1
+	}
+	return bits.Len(uint(lanes-1)) + 1
+}
+
+func opStageCost(op *VOp, lanes int) int {
+	if op.Kind == ReduceOp {
+		return reduceStages(lanes)
+	}
+	return 1
+}
+
+// reorderForPressure list-schedules the ops to minimise live op results:
+// among ready ops it picks the one that retires the most dying values while
+// adding its own, reducing the pipeline registers a partition needs.
+func reorderForPressure(u *VirtualPCU) {
+	n := len(u.Ops)
+	if n < 3 {
+		return
+	}
+	usesLeft := make(map[int]int, n) // op id -> remaining uses
+	for _, op := range u.Ops {
+		for _, a := range op.Args {
+			if a.Kind == OpResult {
+				usesLeft[a.ID]++
+			}
+		}
+	}
+	for _, o := range u.Outs {
+		if o.Src.Kind == OpResult {
+			usesLeft[o.Src.ID]++
+		}
+	}
+	depsLeft := make([]int, n)
+	dependents := make([][]int, n)
+	for _, op := range u.Ops {
+		for _, a := range op.Args {
+			if a.Kind == OpResult {
+				depsLeft[op.ID]++
+				dependents[a.ID] = append(dependents[a.ID], op.ID)
+			}
+		}
+	}
+	var order []*VOp
+	scheduled := make([]bool, n)
+	for len(order) < n {
+		best, bestScore := -1, 1<<30
+		for _, op := range u.Ops {
+			if scheduled[op.ID] || depsLeft[op.ID] != 0 {
+				continue
+			}
+			dying := 0
+			seen := map[int]bool{}
+			for _, a := range op.Args {
+				if a.Kind == OpResult && !seen[a.ID] {
+					seen[a.ID] = true
+					if usesLeft[a.ID] == 1 {
+						dying++
+					}
+				}
+			}
+			score := 1 - dying // lower is better
+			if score < bestScore {
+				best, bestScore = op.ID, score
+			}
+		}
+		op := u.Ops[best]
+		scheduled[best] = true
+		order = append(order, op)
+		for _, a := range op.Args {
+			if a.Kind == OpResult {
+				usesLeft[a.ID]--
+			}
+		}
+		for _, d := range dependents[best] {
+			depsLeft[d]--
+		}
+	}
+	// Renumber ops and remap references.
+	remap := make([]int, n)
+	for newID, op := range order {
+		remap[op.ID] = newID
+	}
+	for _, op := range order {
+		for i, a := range op.Args {
+			if a.Kind == OpResult {
+				op.Args[i].ID = remap[a.ID]
+			}
+		}
+	}
+	for i := range u.Outs {
+		if u.Outs[i].Src.Kind == OpResult {
+			u.Outs[i].Src.ID = remap[u.Outs[i].Src.ID]
+		}
+	}
+	for newID, op := range order {
+		op.ID = newID
+	}
+	u.Ops = order
+}
+
+// PartitionPCU splits a virtual PCU into physical PCUs under the given
+// parameters using the paper's greedy heuristic with a cost metric of
+// physical stages, live values per stage, and IO buses (Section 3.6).
+func PartitionPCU(u *VirtualPCU, p arch.PCUParams) ([]*PhysPCU, error) {
+	reorderForPressure(u)
+	if u.Lanes > p.Lanes {
+		return nil, fmt.Errorf("compiler: %s needs %d lanes, PCU has %d", u.Name, u.Lanes, p.Lanes)
+	}
+	// Use positions: op results carry a def position and last use; input
+	// streams carry every use position (a stream enters each partition
+	// that uses it directly from its source PMU/FIFO — it does not pass
+	// through partitions that ignore it). Output sources count as a use
+	// at position n.
+	n := len(u.Ops)
+	resUses := map[int][]int{}  // op result -> use positions
+	vecUses := map[int][]int{}  // vec input -> use positions
+	scalUses := map[int][]int{} // scal input -> use positions
+	for i, op := range u.Ops {
+		for _, a := range op.Args {
+			switch a.Kind {
+			case OpResult:
+				resUses[a.ID] = append(resUses[a.ID], i)
+			case VecIn:
+				vecUses[a.ID] = append(vecUses[a.ID], i)
+			case ScalIn:
+				scalUses[a.ID] = append(scalUses[a.ID], i)
+			}
+		}
+	}
+	for _, o := range u.Outs {
+		switch o.Src.Kind {
+		case OpResult:
+			resUses[o.Src.ID] = append(resUses[o.Src.ID], n)
+		case VecIn:
+			vecUses[o.Src.ID] = append(vecUses[o.Src.ID], n)
+		case ScalIn:
+			scalUses[o.Src.ID] = append(scalUses[o.Src.ID], n)
+		}
+	}
+
+	// A unit with no ops (pure data movement) still occupies one stage.
+	if n == 0 {
+		vi, si := len(u.VecIns), len(u.ScalIns)
+		vo, so := outCounts(u, 0, 0)
+		part := &PhysPCU{StagesUsed: 1, VecIns: vi, ScalIns: si, VecOuts: vo, ScalOuts: so, MaxLive: vi}
+		if err := checkPart(u, part, p); err != nil {
+			return nil, err
+		}
+		return []*PhysPCU{part}, nil
+	}
+
+	var parts []*PhysPCU
+	start := 0
+	for start < n {
+		// Extend the current partition as far as constraints allow.
+		end := start
+		var best *PhysPCU
+		for end < n {
+			cand := buildPart(u, start, end+1, n, resUses, vecUses, scalUses)
+			if violates(cand, p) {
+				break
+			}
+			best = cand
+			end++
+		}
+		if best == nil {
+			cand := buildPart(u, start, start+1, n, resUses, vecUses, scalUses)
+			return nil, fmt.Errorf("compiler: %s: op %d alone violates PCU constraints (stages=%d live=%d vecIn=%d scalIn=%d vecOut=%d scalOut=%d vs %+v)",
+				u.Name, start, cand.StagesUsed, cand.MaxLive, cand.VecIns, cand.ScalIns, cand.VecOuts, cand.ScalOuts, p)
+		}
+		parts = append(parts, best)
+		start = end
+	}
+	return parts, nil
+}
+
+// usedIn reports whether any use position falls in [start,end), treating a
+// use at n (an output) as belonging to the final partition (end == n).
+func usedIn(uses []int, start, end, n int) bool {
+	for _, u := range uses {
+		if u >= start && u < end {
+			return true
+		}
+		if u == n && end == n {
+			return true
+		}
+	}
+	return false
+}
+
+// buildPart materialises the partition [start,end) and computes its cost
+// metrics: stages, live values, and IO buses. Values cross between
+// partitions point-to-point over the vector network: a result produced in
+// one partition enters exactly the partitions that consume it (it does not
+// pass through unrelated partitions), costing the producer one vector
+// output and each consumer one vector input.
+func buildPart(u *VirtualPCU, start, end, n int,
+	resUses, vecUses, scalUses map[int][]int) *PhysPCU {
+
+	part := &PhysPCU{Ops: u.Ops[start:end]}
+	for _, op := range part.Ops {
+		part.StagesUsed += opStageCost(op, u.Lanes)
+	}
+	// Vector inputs: external streams used here plus results produced by
+	// earlier partitions and consumed here.
+	for _, uses := range vecUses {
+		if usedIn(uses, start, end, n) {
+			part.VecIns++
+		}
+	}
+	crossIn := 0
+	for id, uses := range resUses {
+		if id < start && usedIn(uses, start, end, n) {
+			crossIn++
+		}
+	}
+	part.VecIns += crossIn
+	// Scalar inputs used in this range.
+	for _, uses := range scalUses {
+		if usedIn(uses, start, end, n) {
+			part.ScalIns++
+		}
+	}
+	// Outputs: values defined here and consumed by a later partition's op
+	// cross out once each (program outputs at position n leave from the
+	// defining partition and are counted by outCounts below).
+	crossOut := 0
+	lastOpUseOf := func(id int) int {
+		last := -1
+		for _, p := range resUses[id] {
+			if p < n && p > last {
+				last = p
+			}
+		}
+		return last
+	}
+	lastUseOf := func(id int) int {
+		last := -1
+		for _, p := range resUses[id] {
+			if p > last {
+				last = p
+			}
+		}
+		return last
+	}
+	for id := start; id < end; id++ {
+		if lastOpUseOf(id) >= end {
+			crossOut++
+		}
+	}
+	vo, so := outCounts(u, start, end)
+	part.VecOuts = vo + crossOut
+	part.ScalOuts = so
+	// Live values: results in flight inside this partition (defined here,
+	// still needed at a later position) plus everything entering it.
+	maxLive := 0
+	for i := start + 1; i <= end; i++ {
+		c := 0
+		for id := start; id < i; id++ {
+			if _, ok := resUses[id]; ok && lastUseOf(id) >= i {
+				c++
+			}
+		}
+		if c > maxLive {
+			maxLive = c
+		}
+	}
+	part.MaxLive = maxLive + part.VecIns
+	return part
+}
+
+// outCounts returns program-level vector/scalar outputs sourced from ops in
+// [start,end), or from inputs when the unit has no ops in range and is the
+// last partition.
+func outCounts(u *VirtualPCU, start, end int) (vec, scal int) {
+	for _, o := range u.Outs {
+		inRange := false
+		switch o.Src.Kind {
+		case OpResult:
+			inRange = o.Src.ID >= start && o.Src.ID < end
+		default:
+			// Input-sourced outputs leave from the final partition.
+			inRange = end >= len(u.Ops)
+		}
+		if !inRange {
+			continue
+		}
+		if o.Kind == OutScalReg {
+			scal++
+		} else {
+			vec++
+		}
+	}
+	return vec, scal
+}
+
+func violates(part *PhysPCU, p arch.PCUParams) bool {
+	return part.StagesUsed > p.Stages ||
+		part.MaxLive > p.Registers ||
+		part.VecIns > p.VectorIns ||
+		part.ScalIns > p.ScalarIns ||
+		part.VecOuts > p.VectorOuts ||
+		part.ScalOuts > p.ScalarOuts
+}
+
+func checkPart(u *VirtualPCU, part *PhysPCU, p arch.PCUParams) error {
+	if violates(part, p) {
+		return fmt.Errorf("compiler: %s: unit violates PCU constraints (stages=%d live=%d vecIn=%d scalIn=%d vecOut=%d scalOut=%d vs %+v)",
+			u.Name, part.StagesUsed, part.MaxLive, part.VecIns, part.ScalIns, part.VecOuts, part.ScalOuts, p)
+	}
+	return nil
+}
+
+// PartitionPMU computes the physical PMUs and supporting PCUs one virtual
+// PMU needs under the given parameters.
+func PartitionPMU(m *VirtualPMU, p arch.Params) (PartPMU, error) {
+	capacityWords := p.PMU.BankKB * 1024 / 4 * p.PMU.Banks
+	need := m.Mem.Size * m.NBuf
+	copies := (need + capacityWords - 1) / capacityWords
+	if copies < 1 {
+		copies = 1
+	}
+	// Concurrent read streams beyond the PMU's vector outputs require
+	// content duplication across PMUs.
+	if m.MaxConcurrentReads > p.PMU.VectorOuts && p.PMU.VectorOuts > 0 {
+		dup := (m.MaxConcurrentReads + p.PMU.VectorOuts - 1) / p.PMU.VectorOuts
+		copies *= dup
+	}
+	support := 0
+	addrOps := m.AddrOps + m.RMWOps
+	if addrOps > p.PMU.Stages {
+		support = (addrOps - p.PMU.Stages + p.PCU.Stages - 1) / p.PCU.Stages
+	}
+	return PartPMU{V: m, Copies: copies, SupportPCUs: support}, nil
+}
+
+// Partition maps every virtual unit to physical units under params.
+func Partition(v *Virtual, params arch.Params) (*Partitioned, error) {
+	out := &Partitioned{Virtual: v}
+	for _, u := range v.PCUs {
+		parts, err := PartitionPCU(u, params.PCU)
+		if err != nil {
+			return nil, err
+		}
+		pp := PartPCU{V: u, Parts: parts}
+		out.PCUs = append(out.PCUs, pp)
+		out.TotalPCUs += pp.Units()
+		for _, part := range parts {
+			slots := 0
+			for _, op := range part.Ops {
+				slots += opStageCost(op, u.Lanes) * u.Lanes
+			}
+			if len(part.Ops) == 0 {
+				slots = u.Lanes // pass-through stage
+			}
+			out.UsedFUSlots += int64(slots * u.Unroll)
+		}
+	}
+	for _, m := range v.PMUs {
+		pm, err := PartitionPMU(m, params)
+		if err != nil {
+			return nil, err
+		}
+		out.PMUs = append(out.PMUs, pm)
+		out.TotalPMUs += pm.Units()
+		out.TotalPCUs += pm.SupportPCUs * pm.V.Unroll
+	}
+	for _, ag := range v.AGs {
+		out.TotalAGs += ag.Unroll
+	}
+	return out, nil
+}

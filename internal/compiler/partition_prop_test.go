@@ -1,0 +1,190 @@
+package compiler
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"plasticine/internal/arch"
+	"plasticine/internal/dhdl"
+	"plasticine/internal/pattern"
+)
+
+// randomUnit builds a random but well-formed virtual PCU: a DAG of ALU ops
+// over a few vector/scalar inputs and counters, ending in one output.
+func randomUnit(rng *rand.Rand, nOps int) *VirtualPCU {
+	u := &VirtualPCU{Name: "rand", Lanes: 16, Unroll: 1}
+	nVec := 1 + rng.Intn(3)
+	nScal := rng.Intn(3)
+	for i := 0; i < nVec; i++ {
+		u.VecIns = append(u.VecIns, VecInput{SRAM: &dhdl.SRAM{Name: "m"}})
+	}
+	for i := 0; i < nScal; i++ {
+		u.ScalIns = append(u.ScalIns, ScalInput{Reg: &dhdl.Reg{Name: "r"}})
+	}
+	operand := func(maxOp int) Operand {
+		switch rng.Intn(5) {
+		case 0:
+			return Operand{Kind: VecIn, ID: rng.Intn(nVec)}
+		case 1:
+			if nScal > 0 {
+				return Operand{Kind: ScalIn, ID: rng.Intn(nScal)}
+			}
+			return Operand{Kind: ConstOperand, Const: pattern.VF(1)}
+		case 2:
+			return Operand{Kind: CtrIdx, ID: 0}
+		case 3:
+			return Operand{Kind: ConstOperand, Const: pattern.VF(2)}
+		default:
+			if maxOp > 0 {
+				return Operand{Kind: OpResult, ID: rng.Intn(maxOp)}
+			}
+			return Operand{Kind: VecIn, ID: rng.Intn(nVec)}
+		}
+	}
+	for i := 0; i < nOps; i++ {
+		op := &VOp{ID: i, Kind: ALUOp, ALU: pattern.Add,
+			Args: []Operand{operand(i), operand(i)}}
+		u.Ops = append(u.Ops, op)
+	}
+	u.Outs = []VOut{{Kind: OutVecSRAM, SRAM: &dhdl.SRAM{Name: "o"},
+		Src: Operand{Kind: OpResult, ID: nOps - 1}}}
+	return u
+}
+
+// TestPartitionInvariantsProperty checks, over random op DAGs, that every
+// partition respects the architecture constraints, preserves all ops in
+// order, and keeps dependencies forward (an op's arguments always live in
+// the same or an earlier partition).
+func TestPartitionInvariantsProperty(t *testing.T) {
+	p := arch.Default().PCU
+	f := func(seed int64, nRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nRaw%60) + 2
+		u := randomUnit(rng, n)
+		parts, err := PartitionPCU(u, p)
+		if err != nil {
+			// Random units are always feasible under the default box:
+			// binary ops need at most 2 inputs.
+			t.Logf("seed %d n %d: unexpected infeasibility: %v", seed, n, err)
+			return false
+		}
+		// All ops present exactly once, in schedule order.
+		seen := 0
+		partOf := map[int]int{}
+		for pi, ph := range parts {
+			if ph.StagesUsed > p.Stages || ph.MaxLive > p.Registers ||
+				ph.VecIns > p.VectorIns || ph.ScalIns > p.ScalarIns ||
+				ph.VecOuts > p.VectorOuts || ph.ScalOuts > p.ScalarOuts {
+				t.Logf("seed %d: partition %d violates constraints: %+v", seed, pi, ph)
+				return false
+			}
+			for _, op := range ph.Ops {
+				partOf[op.ID] = pi
+				seen++
+			}
+		}
+		if seen != n {
+			t.Logf("seed %d: %d ops scheduled, want %d", seed, seen, n)
+			return false
+		}
+		// Dependencies point backwards in the partition order.
+		for _, ph := range parts {
+			for _, op := range ph.Ops {
+				for _, a := range op.Args {
+					if a.Kind == OpResult && partOf[a.ID] > partOf[op.ID] {
+						t.Logf("seed %d: op %d depends on later partition", seed, op.ID)
+						return false
+					}
+					if a.Kind == OpResult && a.ID >= op.ID {
+						t.Logf("seed %d: op %d consumes a not-yet-defined value %d", seed, op.ID, a.ID)
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestReorderPreservesDependencies checks the pressure-aware scheduler
+// emits a valid topological order and keeps output sources intact.
+func TestReorderPreservesDependencies(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nRaw%40) + 2
+		u := randomUnit(rng, n)
+		reorderForPressure(u)
+		if len(u.Ops) != n {
+			return false
+		}
+		for i, op := range u.Ops {
+			if op.ID != i {
+				return false // renumbering broken
+			}
+			for _, a := range op.Args {
+				if a.Kind == OpResult && a.ID >= i {
+					return false // dependency violated
+				}
+			}
+		}
+		for _, o := range u.Outs {
+			if o.Src.Kind == OpResult && (o.Src.ID < 0 || o.Src.ID >= n) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestCSEDeduplicatesRepeatedSubtrees verifies Black-Scholes-style shared
+// subexpressions lower once.
+func TestCSEDeduplicatesRepeatedSubtrees(t *testing.T) {
+	b := dhdl.NewBuilder("cse", dhdl.Sequential)
+	s := b.SRAM("s", pattern.F32, 64)
+	d := b.SRAM("d", pattern.F32, 64)
+	b.Compute("c", []dhdl.Counter{dhdl.CPar(64, 16)}, func(ix []dhdl.Expr) []*dhdl.Assign {
+		// shared = (s[i]+1)*2, used four times.
+		shared := dhdl.Mul(dhdl.Add(dhdl.Ld(s, ix[0]), dhdl.CF(1)), dhdl.CF(2))
+		v := dhdl.Add(dhdl.Mul(shared, shared), dhdl.Sub(shared, shared))
+		return []*dhdl.Assign{dhdl.StoreAt(d, ix[0], v)}
+	})
+	v, err := Allocate(b.MustBuild())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Without CSE: 4 copies of (add,mul) + mul + sub + add = 11 ops.
+	// With CSE: add, mul (shared), mul, sub, add = 5.
+	if got := len(v.PCUs[0].Ops); got != 5 {
+		t.Errorf("got %d ops, want 5 (CSE should share the repeated subtree)", got)
+	}
+}
+
+// TestCSEDoesNotMergeFIFOPops verifies side-effecting pops stay distinct.
+func TestCSEDoesNotMergeFIFOPops(t *testing.T) {
+	b := dhdl.NewBuilder("pops", dhdl.Sequential)
+	f := b.FIFO("f", pattern.F32, 64)
+	d := b.SRAM("d", pattern.F32, 64)
+	b.Compute("c", []dhdl.Counter{dhdl.C(32)}, func(ix []dhdl.Expr) []*dhdl.Assign {
+		// Two pops per iteration: sum of consecutive pairs.
+		v := dhdl.Add(dhdl.Pop(f), dhdl.Pop(f))
+		return []*dhdl.Assign{dhdl.StoreAt(d, ix[0], v)}
+	})
+	v, err := Allocate(b.MustBuild())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The two pops share one FIFO input bus in the current model, but the
+	// expression must not be CSE-collapsed into pop(x)+pop(x) -> 2*pop(x):
+	// the add op must still take two operands from the FIFO stream.
+	u := v.PCUs[0]
+	if len(u.Ops) != 1 {
+		t.Fatalf("ops = %d, want 1 (the add)", len(u.Ops))
+	}
+}

@@ -1,0 +1,239 @@
+package compiler
+
+import (
+	"fmt"
+	"sort"
+
+	"plasticine/internal/arch"
+	"plasticine/internal/dhdl"
+)
+
+// NodeKind is the physical resource type a netlist node occupies.
+type NodeKind int
+
+const (
+	// NodePCU occupies a Pattern Compute Unit slot.
+	NodePCU NodeKind = iota
+	// NodePMU occupies a Pattern Memory Unit slot.
+	NodePMU
+	// NodeAG occupies an address generator at the chip edge.
+	NodeAG
+)
+
+// Node is one physical unit instance awaiting placement.
+type Node struct {
+	Kind  NodeKind
+	Name  string
+	Edges []int // indices of connected nodes
+
+	X, Y int // assigned position (AGs: X is -1 or Cols)
+}
+
+// Netlist is the physical-unit graph of a partitioned program.
+type Netlist struct {
+	Nodes []*Node
+
+	// LeafChain maps each leaf controller to its chain of PCU node
+	// indices (first unrolled copy).
+	LeafChain map[*dhdl.Controller][]int
+	// MemNode maps each SRAM to its primary PMU node index.
+	MemNode map[*dhdl.SRAM]int
+	// AGNode maps each transfer leaf to its AG node index.
+	AGNode map[*dhdl.Controller]int
+}
+
+// BuildNetlist expands a partitioned program into unit instances with
+// connectivity edges.
+func BuildNetlist(part *Partitioned) *Netlist {
+	nl := &Netlist{
+		LeafChain: map[*dhdl.Controller][]int{},
+		MemNode:   map[*dhdl.SRAM]int{},
+		AGNode:    map[*dhdl.Controller]int{},
+	}
+	addNode := func(k NodeKind, name string) int {
+		nl.Nodes = append(nl.Nodes, &Node{Kind: k, Name: name})
+		return len(nl.Nodes) - 1
+	}
+	connect := func(a, b int) {
+		nl.Nodes[a].Edges = append(nl.Nodes[a].Edges, b)
+		nl.Nodes[b].Edges = append(nl.Nodes[b].Edges, a)
+	}
+
+	// PMUs first so compute units can connect to them.
+	for _, pm := range part.PMUs {
+		for u := 0; u < pm.V.Unroll; u++ {
+			var prev int = -1
+			for c := 0; c < pm.Copies; c++ {
+				id := addNode(NodePMU, fmt.Sprintf("%s.pmu%d.%d", pm.V.Name, u, c))
+				if u == 0 && c == 0 {
+					nl.MemNode[pm.V.Mem] = id
+				}
+				if prev >= 0 {
+					connect(prev, id)
+				}
+				prev = id
+			}
+			for s := 0; s < pm.SupportPCUs; s++ {
+				id := addNode(NodePCU, fmt.Sprintf("%s.addr%d.%d", pm.V.Name, u, s))
+				if first, ok := nl.MemNode[pm.V.Mem]; ok {
+					connect(first, id)
+				}
+			}
+		}
+	}
+	for _, pc := range part.PCUs {
+		for u := 0; u < pc.V.Unroll; u++ {
+			var chain []int
+			prev := -1
+			for k := range pc.Parts {
+				id := addNode(NodePCU, fmt.Sprintf("%s.pcu%d.%d", pc.V.Name, u, k))
+				chain = append(chain, id)
+				if prev >= 0 {
+					connect(prev, id)
+				}
+				prev = id
+			}
+			if u == 0 {
+				nl.LeafChain[pc.V.Leaf] = chain
+			}
+			// Connect first/last partition to the memories it touches.
+			if len(chain) > 0 {
+				for _, vi := range pc.V.VecIns {
+					if vi.SRAM != nil {
+						if mn, ok := nl.MemNode[vi.SRAM]; ok {
+							connect(chain[0], mn)
+						}
+					}
+				}
+				for _, o := range pc.V.Outs {
+					if o.SRAM != nil {
+						if mn, ok := nl.MemNode[o.SRAM]; ok {
+							connect(chain[len(chain)-1], mn)
+						}
+					}
+				}
+			}
+		}
+	}
+	for _, ag := range part.Virtual.AGs {
+		for u := 0; u < ag.Unroll; u++ {
+			id := addNode(NodeAG, fmt.Sprintf("%s.ag%d", ag.Name, u))
+			if u == 0 {
+				nl.AGNode[ag.Leaf] = id
+			}
+			x := ag.Leaf.Xfer
+			for _, s := range []*dhdl.SRAM{x.SRAM, x.AddrMem, x.DataMem} {
+				if s != nil {
+					if mn, ok := nl.MemNode[s]; ok {
+						connect(id, mn)
+					}
+				}
+			}
+		}
+	}
+	return nl
+}
+
+// Place assigns netlist nodes to grid slots: PCUs and PMUs interleave in a
+// checkerboard (Figure 5); AGs sit on the left/right chip edges. Placement
+// is greedy: nodes in netlist order take the free slot of their type that
+// minimises Manhattan distance to already-placed neighbours.
+func Place(nl *Netlist, p arch.Params) error {
+	cols, rows := p.Chip.Cols, p.Chip.Rows
+	type slot struct{ x, y int }
+	var pcuSlots, pmuSlots []slot
+	// Order slots centre-out so early nodes get central positions.
+	cx, cy := cols/2, rows/2
+	var all []slot
+	for y := 0; y < rows; y++ {
+		for x := 0; x < cols; x++ {
+			all = append(all, slot{x, y})
+		}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		di := absInt(all[i].x-cx) + absInt(all[i].y-cy)
+		dj := absInt(all[j].x-cx) + absInt(all[j].y-cy)
+		if di != dj {
+			return di < dj
+		}
+		if all[i].y != all[j].y {
+			return all[i].y < all[j].y
+		}
+		return all[i].x < all[j].x
+	})
+	for _, s := range all {
+		if (s.x+s.y)%2 == 0 {
+			pcuSlots = append(pcuSlots, s)
+		} else {
+			pmuSlots = append(pmuSlots, s)
+		}
+	}
+	agLeft, agRight := p.Chip.AGsPerSide, p.Chip.AGsPerSide
+	usedPCU := make([]bool, len(pcuSlots))
+	usedPMU := make([]bool, len(pmuSlots))
+	placed := make([]bool, len(nl.Nodes))
+	agY := 0
+
+	for idx, nd := range nl.Nodes {
+		switch nd.Kind {
+		case NodeAG:
+			if agLeft > 0 {
+				nd.X, nd.Y = -1, agY%rows
+				agLeft--
+			} else if agRight > 0 {
+				nd.X, nd.Y = cols, agY%rows
+				agRight--
+			} else {
+				return fmt.Errorf("compiler: out of address generators (%d available)", p.NumAGs())
+			}
+			agY++
+		case NodePCU, NodePMU:
+			slots, used := pcuSlots, usedPCU
+			if nd.Kind == NodePMU {
+				slots, used = pmuSlots, usedPMU
+			}
+			best, bestCost := -1, 1<<30
+			for i, s := range slots {
+				if used[i] {
+					continue
+				}
+				cost, nPlaced := 0, 0
+				for _, e := range nd.Edges {
+					if placed[e] {
+						o := nl.Nodes[e]
+						cost += absInt(o.X-s.x) + absInt(o.Y-s.y)
+						nPlaced++
+					}
+				}
+				if nPlaced == 0 {
+					cost = absInt(s.x-cx) + absInt(s.y-cy)
+				}
+				if cost < bestCost {
+					best, bestCost = i, cost
+				}
+			}
+			if best < 0 {
+				return fmt.Errorf("compiler: design does not fit: out of %s slots (%d available)",
+					map[NodeKind]string{NodePCU: "PCU", NodePMU: "PMU"}[nd.Kind],
+					map[NodeKind]int{NodePCU: len(pcuSlots), NodePMU: len(pmuSlots)}[nd.Kind])
+			}
+			nd.X, nd.Y = slots[best].x, slots[best].y
+			used[best] = true
+		}
+		placed[idx] = true
+	}
+	return nil
+}
+
+func absInt(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// RouteHops returns the routing latency in switch hops between two placed
+// nodes (X-Y dimension-ordered routing with registered links, Section 3.3).
+func RouteHops(a, b *Node) int {
+	return absInt(a.X-b.X) + absInt(a.Y-b.Y)
+}

@@ -1,0 +1,126 @@
+package compiler
+
+import (
+	"fmt"
+	"sort"
+
+	"plasticine/internal/arch"
+	"plasticine/internal/stats"
+)
+
+// Route is one static point-to-point connection through the switch fabric:
+// dimension-ordered (X then Y), one registered switch hop per step
+// (Section 3.3).
+type Route struct {
+	From, To int      // node indices
+	Hops     [][2]int // switch coordinates visited, in order
+}
+
+// RouteTable holds every routed edge plus per-link usage.
+type RouteTable struct {
+	Routes []Route
+	// LinkUse counts routes crossing each directed link, keyed by
+	// "x1,y1>x2,y2".
+	LinkUse map[string]int
+}
+
+// MaxLinkUse returns the most-shared link's route count (static congestion:
+// the vector network is statically allocated, so links carrying more than
+// Capacity routes need time-multiplexing).
+func (rt *RouteTable) MaxLinkUse() int {
+	max := 0
+	for _, n := range rt.LinkUse {
+		if n > max {
+			max = n
+		}
+	}
+	return max
+}
+
+// AvgHops returns the mean route length in switch hops.
+func (rt *RouteTable) AvgHops() float64 {
+	if len(rt.Routes) == 0 {
+		return 0
+	}
+	total := 0
+	for _, r := range rt.Routes {
+		total += len(r.Hops) - 1
+	}
+	return float64(total) / float64(len(rt.Routes))
+}
+
+// RouteAll routes every netlist edge with X-Y dimension-ordered routing on
+// the switch grid. AGs sit at x = -1 or x = Cols and enter the fabric
+// through their row.
+func RouteAll(nl *Netlist, p arch.Params) *RouteTable {
+	rt := &RouteTable{LinkUse: map[string]int{}}
+	seen := map[[2]int]bool{}
+	for i, nd := range nl.Nodes {
+		for _, j := range nd.Edges {
+			if j < i {
+				continue // route each undirected edge once
+			}
+			key := [2]int{i, j}
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			r := Route{From: i, To: j, Hops: xyRoute(nd.X, nd.Y, nl.Nodes[j].X, nl.Nodes[j].Y)}
+			rt.Routes = append(rt.Routes, r)
+			for h := 1; h < len(r.Hops); h++ {
+				a, b := r.Hops[h-1], r.Hops[h]
+				rt.LinkUse[fmt.Sprintf("%d,%d>%d,%d", a[0], a[1], b[0], b[1])]++
+			}
+		}
+	}
+	return rt
+}
+
+// xyRoute walks X first, then Y.
+func xyRoute(x1, y1, x2, y2 int) [][2]int {
+	hops := [][2]int{{x1, y1}}
+	step := func(d *int, target int) {
+		if *d < target {
+			*d++
+		} else {
+			*d--
+		}
+	}
+	x, y := x1, y1
+	for x != x2 {
+		step(&x, x2)
+		hops = append(hops, [2]int{x, y})
+	}
+	for y != y2 {
+		step(&y, y2)
+		hops = append(hops, [2]int{x, y})
+	}
+	return hops
+}
+
+// CongestionReport renders the busiest links.
+func (rt *RouteTable) CongestionReport(top int) string {
+	type lu struct {
+		link string
+		n    int
+	}
+	var all []lu
+	for l, n := range rt.LinkUse {
+		all = append(all, lu{l, n})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].n != all[j].n {
+			return all[i].n > all[j].n
+		}
+		return all[i].link < all[j].link
+	})
+	if top > len(all) {
+		top = len(all)
+	}
+	t := stats.New(fmt.Sprintf("interconnect: %d routes, %.1f avg hops, busiest links",
+		len(rt.Routes), rt.AvgHops()), "Link", "Routes")
+	for _, e := range all[:top] {
+		t.Add(e.link, fmt.Sprint(e.n))
+	}
+	return t.String()
+}

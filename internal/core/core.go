@@ -1,0 +1,208 @@
+// Package core is the public façade of the Plasticine reproduction: it ties
+// the programming model, compiler, cycle-level simulator, FPGA baseline and
+// the area/power models together, and regenerates the paper's evaluation
+// artefacts (Tables 5 and 7).
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"plasticine/internal/arch"
+	"plasticine/internal/compiler"
+	"plasticine/internal/dhdl"
+	"plasticine/internal/fpga"
+	"plasticine/internal/sim"
+	"plasticine/internal/stats"
+	"plasticine/internal/workloads"
+)
+
+// System is a Plasticine instance at a particular parameterisation.
+type System struct {
+	Params arch.Params
+	FPGA   fpga.Model
+}
+
+// New returns a system with the paper's final architecture and baseline.
+func New() *System {
+	return &System{Params: arch.Default(), FPGA: fpga.StratixV()}
+}
+
+// WithParams returns a system with custom architecture parameters.
+func WithParams(p arch.Params) *System {
+	return &System{Params: p, FPGA: fpga.StratixV()}
+}
+
+// Compile maps a DHDL program onto the fabric.
+func (s *System) Compile(p *dhdl.Program) (*compiler.Mapping, error) {
+	return compiler.Compile(p, s.Params)
+}
+
+// Run compiles and simulates a program whose DRAM buffers are bound.
+func (s *System) Run(p *dhdl.Program) (*sim.Result, *dhdl.State, error) {
+	m, err := s.Compile(p)
+	if err != nil {
+		return nil, nil, err
+	}
+	return sim.Run(m)
+}
+
+// BenchResult is one Table 7 row: Plasticine vs the FPGA baseline.
+type BenchResult struct {
+	Name string
+
+	// Plasticine side (simulated).
+	Cycles      int64
+	TimeSec     float64
+	PowerW      float64
+	Util        compiler.Utilization
+	DRAMReadMB  float64
+	DRAMWriteMB float64
+
+	// FPGA side (modelled).
+	FPGATimeSec float64
+	FPGAPowerW  float64
+
+	// Ratios.
+	Speedup      float64
+	PerfPerWatt  float64
+	PaperSpeedup float64
+	PaperPerfW   float64
+}
+
+// RunBenchmark executes one Table 4 benchmark end to end, checks its
+// functional output, and models the FPGA baseline on the same instance.
+func (s *System) RunBenchmark(b workloads.Benchmark) (*BenchResult, error) {
+	p, err := b.Build()
+	if err != nil {
+		return nil, fmt.Errorf("core: %s: %w", b.Name(), err)
+	}
+	m, err := s.Compile(p)
+	if err != nil {
+		return nil, fmt.Errorf("core: %s: %w", b.Name(), err)
+	}
+	res, st, err := sim.Run(m)
+	if err != nil {
+		return nil, fmt.Errorf("core: %s: %w", b.Name(), err)
+	}
+	if err := b.Check(st); err != nil {
+		return nil, fmt.Errorf("core: %s: functional check failed: %w", b.Name(), err)
+	}
+	prof := b.Profile()
+	w := fpga.Workload{
+		Flops:           prof.Flops,
+		DenseBytes:      prof.DenseBytes,
+		SparseAccesses:  prof.SparseAccesses,
+		OpsPerLane:      prof.OpsPerLane,
+		HeavyOpsPerLane: prof.HeavyOpsPerLane,
+		SeqIters:        prof.SeqIters,
+		PipeDepth:       prof.PipeDepth,
+		SeqChildren:     prof.SeqChildren,
+		LogicUtil:       prof.FPGALogicUtil,
+		MemUtil:         prof.FPGAMemUtil,
+	}
+	fpgaTime := s.FPGA.Runtime(w)
+	fpgaPower := s.FPGA.Power(w)
+	r := &BenchResult{
+		Name:         b.Name(),
+		Cycles:       res.Cycles,
+		TimeSec:      res.Seconds,
+		PowerW:       res.PowerW,
+		Util:         res.Util,
+		DRAMReadMB:   float64(res.DRAM.BytesRead) / 1e6,
+		DRAMWriteMB:  float64(res.DRAM.BytesWritten) / 1e6,
+		FPGATimeSec:  fpgaTime,
+		FPGAPowerW:   fpgaPower,
+		PaperSpeedup: prof.PaperSpeedup,
+		PaperPerfW:   prof.PaperPerfWatt,
+	}
+	if res.Seconds > 0 {
+		r.Speedup = fpgaTime / res.Seconds
+	}
+	if r.PowerW > 0 && fpgaPower > 0 {
+		// Perf/W ratio = speedup * (FPGA power / Plasticine power).
+		r.PerfPerWatt = r.Speedup * fpgaPower / r.PowerW
+	}
+	return r, nil
+}
+
+// Table7 runs all thirteen benchmarks and returns their rows in paper
+// order.
+func (s *System) Table7() ([]*BenchResult, error) {
+	var out []*BenchResult
+	for _, b := range workloads.All() {
+		r, err := s.RunBenchmark(b)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// FormatTable7 renders Table 7 rows in the paper's layout.
+func FormatTable7(rows []*BenchResult) string {
+	t := stats.New("Table 7: utilization, power, performance vs Stratix V FPGA",
+		"Benchmark", "PCU%", "PMU%", "AG%", "FU%", "Plast W", "FPGA W",
+		"Plast us", "FPGA us", "Speedup", "Perf/W", "Paper spd", "Paper p/w")
+	for _, r := range rows {
+		t.Add(r.Name,
+			stats.Pct(r.Util.PCUFrac), stats.Pct(r.Util.PMUFrac), stats.Pct(r.Util.AGFrac),
+			stats.Pct(r.Util.FUFrac),
+			stats.F(r.PowerW), stats.F(r.FPGAPowerW),
+			stats.F(r.TimeSec*1e6), stats.F(r.FPGATimeSec*1e6),
+			stats.F(r.Speedup)+"x", stats.F(r.PerfPerWatt)+"x",
+			stats.F(r.PaperSpeedup)+"x", stats.F(r.PaperPerfW)+"x")
+	}
+	return t.String()
+}
+
+// Table7JSON serialises benchmark rows for external tooling.
+func Table7JSON(rows []*BenchResult) ([]byte, error) {
+	return json.MarshalIndent(rows, "", "  ")
+}
+
+// Table7CSV renders rows as CSV.
+func Table7CSV(rows []*BenchResult) string {
+	t := stats.New("", "benchmark", "cycles", "plasticine_us", "plasticine_w",
+		"fpga_us", "fpga_w", "speedup", "perf_per_watt", "paper_speedup", "paper_perf_per_watt",
+		"pcu_util", "pmu_util", "ag_util", "fu_util")
+	for _, r := range rows {
+		t.Add(r.Name, fmt.Sprint(r.Cycles),
+			fmt.Sprintf("%.3f", r.TimeSec*1e6), fmt.Sprintf("%.2f", r.PowerW),
+			fmt.Sprintf("%.3f", r.FPGATimeSec*1e6), fmt.Sprintf("%.2f", r.FPGAPowerW),
+			fmt.Sprintf("%.3f", r.Speedup), fmt.Sprintf("%.3f", r.PerfPerWatt),
+			fmt.Sprintf("%.1f", r.PaperSpeedup), fmt.Sprintf("%.1f", r.PaperPerfW),
+			fmt.Sprintf("%.4f", r.Util.PCUFrac), fmt.Sprintf("%.4f", r.Util.PMUFrac),
+			fmt.Sprintf("%.4f", r.Util.AGFrac), fmt.Sprintf("%.4f", r.Util.FUFrac))
+	}
+	return t.CSV()
+}
+
+// Table5 returns the area breakdown of the current parameters.
+func (s *System) Table5() arch.AreaBreakdown { return arch.Area(s.Params) }
+
+// FormatTable5 renders the area breakdown in the paper's layout.
+func FormatTable5(a arch.AreaBreakdown) string {
+	t := stats.New("Table 5: Plasticine area breakdown (mm^2, 28 nm)",
+		"Component", "Area", "Share")
+	add := func(name string, area, of float64) {
+		t.Add(name, stats.F(area), stats.Pct(area/of))
+	}
+	chip := a.ChipTotal()
+	pcu, pmu := a.PCUTotal(), a.PMUTotal()
+	add("PCU.FUs", a.PCUFUs, pcu)
+	add("PCU.Registers", a.PCURegisters, pcu)
+	add("PCU.FIFOs", a.PCUFIFOs, pcu)
+	add("PCU.Control", a.PCUControl, pcu)
+	add("PCU total (x1)", pcu, chip/float64(a.NumPCUs))
+	add("PMU.Scratchpad", a.PMUScratchpad, pmu)
+	add("PMU.FIFOs", a.PMUFIFOs, pmu)
+	add("PMU.Registers", a.PMURegisters, pmu)
+	add("PMU.FUs", a.PMUFUs, pmu)
+	add("PMU total (x1)", pmu, chip/float64(a.NumPMUs))
+	add("Interconnect", a.Interconnect, chip)
+	add("Memory controller", a.MemoryController, chip)
+	t.Add("Chip total", stats.F(chip), "100%")
+	return t.String()
+}

@@ -1,0 +1,97 @@
+package dhdl
+
+import (
+	"fmt"
+	"strings"
+)
+
+// FormatExpr renders an expression as a compact prefix string, used in
+// diagnostics and as a structural-identity key by the compiler.
+func FormatExpr(e Expr) string {
+	var b strings.Builder
+	formatExpr(&b, e)
+	return b.String()
+}
+
+func formatExpr(b *strings.Builder, e Expr) {
+	switch n := e.(type) {
+	case *Lit:
+		fmt.Fprintf(b, "%v", n.V.AsF64())
+	case *Ctr:
+		fmt.Fprintf(b, "i%d", n.Level)
+	case *RegRd:
+		b.WriteString(n.Reg.Name)
+	case *FIFORd:
+		fmt.Fprintf(b, "pop(%s)", n.Mem.Name)
+	case *SRAMRd:
+		b.WriteString(n.Mem.Name)
+		b.WriteString("[")
+		formatExpr(b, n.Addr)
+		b.WriteString("]")
+	case *ToF32:
+		b.WriteString("f32(")
+		formatExpr(b, n.X)
+		b.WriteString(")")
+	case *ToI32:
+		b.WriteString("i32(")
+		formatExpr(b, n.X)
+		b.WriteString(")")
+	case *Un:
+		fmt.Fprintf(b, "%v(", n.Op)
+		formatExpr(b, n.X)
+		b.WriteString(")")
+	case *Bin:
+		fmt.Fprintf(b, "%v(", n.Op)
+		formatExpr(b, n.X)
+		b.WriteString(", ")
+		formatExpr(b, n.Y)
+		b.WriteString(")")
+	case *Mux:
+		b.WriteString("mux(")
+		formatExpr(b, n.Cond)
+		b.WriteString(", ")
+		formatExpr(b, n.T)
+		b.WriteString(", ")
+		formatExpr(b, n.F)
+		b.WriteString(")")
+	default:
+		fmt.Fprintf(b, "<%T>", e)
+	}
+}
+
+// Tree renders the controller hierarchy, one line per controller.
+func (p *Program) Tree() string {
+	var b strings.Builder
+	var rec func(c *Controller, indent string)
+	rec = func(c *Controller, indent string) {
+		fmt.Fprintf(&b, "%s%s %s", indent, c.Kind, c.Name)
+		if len(c.Chain) > 0 {
+			b.WriteString(" [")
+			for i, ctr := range c.Chain {
+				if i > 0 {
+					b.WriteString(", ")
+				}
+				if ctr.MaxReg != nil {
+					fmt.Fprintf(&b, "0..%s", ctr.MaxReg.Name)
+				} else {
+					fmt.Fprintf(&b, "%d..%d", ctr.Min, ctr.Max)
+				}
+				if ctr.Step != 1 {
+					fmt.Fprintf(&b, " step %d", ctr.Step)
+				}
+				if ctr.Par != 1 {
+					fmt.Fprintf(&b, " par %d", ctr.Par)
+				}
+			}
+			b.WriteString("]")
+		}
+		b.WriteString("\n")
+		for _, ch := range c.Children {
+			rec(ch, indent+"  ")
+		}
+	}
+	if p.Root != nil {
+		rec(p.Root, "")
+	}
+	return b.String()
+}

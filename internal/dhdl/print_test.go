@@ -1,0 +1,189 @@
+package dhdl
+
+import (
+	"strings"
+	"testing"
+
+	"plasticine/internal/pattern"
+)
+
+func TestFormatExpr(t *testing.T) {
+	s := &SRAM{Name: "s", Elem: pattern.F32, Size: 8}
+	f := &FIFOMem{Name: "f", Elem: pattern.F32}
+	r := &Reg{Name: "acc", Elem: pattern.F32}
+	cases := []struct {
+		e    Expr
+		want string
+	}{
+		{CF(1.5), "1.5"},
+		{CI(-3), "-3"},
+		{Idx(2), "i2"},
+		{Rd(r), "acc"},
+		{Pop(f), "pop(f)"},
+		{Ld(s, Idx(0)), "s[i0]"},
+		{Add(Mul(Idx(0), CI(4)), CI(1)), "add(mul(i0, 4), 1)"},
+		{Sel(Lt(Idx(0), CI(2)), CF(1), CF(0)), "mux(lt(i0, 2), 1, 0)"},
+		{F32(Idx(0)), "f32(i0)"},
+		{I32(CF(2.5)), "i32(2.5)"},
+		{Neg(CF(1)), "neg(1)"},
+	}
+	for _, c := range cases {
+		if got := FormatExpr(c.e); got != c.want {
+			t.Errorf("FormatExpr = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestProgramTree(t *testing.T) {
+	b := NewBuilder("demo", Sequential)
+	lim := b.Reg("lim", pattern.VI(4))
+	s := b.SRAM("s", pattern.F32, 64)
+	b.Pipe("outer", []Counter{CStepPar(0, 64, 16, 2)}, func(ix []Expr) {
+		b.Compute("inner", []Counter{CDyn(lim)}, func(jx []Expr) []*Assign {
+			return []*Assign{StoreAt(s, jx[0], CF(1))}
+		})
+	})
+	p := b.MustBuild()
+	tree := p.Tree()
+	for _, want := range []string{
+		"Sequential demo.root",
+		"Pipeline outer [0..64 step 16 par 2]",
+		"Compute inner [0..lim]",
+	} {
+		if !strings.Contains(tree, want) {
+			t.Errorf("tree missing %q:\n%s", want, tree)
+		}
+	}
+	// Indentation reflects nesting.
+	lines := strings.Split(strings.TrimRight(tree, "\n"), "\n")
+	if !strings.HasPrefix(lines[1], "  ") || !strings.HasPrefix(lines[2], "    ") {
+		t.Errorf("nesting not indented:\n%s", tree)
+	}
+}
+
+func TestLoadFIFOStreaming(t *testing.T) {
+	// DRAM -> FIFO -> compute popping elements.
+	n := 64
+	b := NewBuilder("stream", Sequential)
+	d := b.DRAMF32("d", n)
+	f := b.FIFO("f", pattern.F32, n)
+	sum := b.Reg("sum", pattern.VF(0))
+	b.StreamCtl("body", nil, func([]Expr) {
+		b.LoadFIFO("ld", d, CI(0), f, n)
+		b.Compute("sum", []Counter{C(n)}, func(ix []Expr) []*Assign {
+			return []*Assign{Accum(sum, pattern.Add, Pop(f))}
+		})
+	})
+	p := b.MustBuild()
+	data := make([]float32, n)
+	var want float32
+	for i := range data {
+		data[i] = float32(i) * 0.5
+		want += data[i]
+	}
+	if err := d.Bind(pattern.FromF32("d", data)); err != nil {
+		t.Fatal(err)
+	}
+	st, err := Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := st.RegValue(sum).F; got != want {
+		t.Errorf("sum = %g, want %g", got, want)
+	}
+	if st.FIFOLen(f) != 0 {
+		t.Errorf("FIFO should be drained, holds %d", st.FIFOLen(f))
+	}
+}
+
+func TestParallelChildrenIndependent(t *testing.T) {
+	b := NewBuilder("par", Sequential)
+	s1 := b.SRAM("s1", pattern.F32, 8)
+	s2 := b.SRAM("s2", pattern.F32, 8)
+	b.Par("both", func() {
+		b.Compute("w1", []Counter{C(8)}, func(ix []Expr) []*Assign {
+			return []*Assign{StoreAt(s1, ix[0], CF(1))}
+		})
+		b.Compute("w2", []Counter{C(8)}, func(ix []Expr) []*Assign {
+			return []*Assign{StoreAt(s2, ix[0], CF(2))}
+		})
+	})
+	st, err := Run(b.MustBuild())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.SRAMData(s1)[7].F != 1 || st.SRAMData(s2)[7].F != 2 {
+		t.Error("parallel children did not both execute")
+	}
+}
+
+func TestTraceEventOrderAndContents(t *testing.T) {
+	b := NewBuilder("trace", Sequential)
+	d := b.DRAMF32("d", 32)
+	s := b.SRAM("s", pattern.F32, 32)
+	r := b.Reg("r", pattern.VF(0))
+	b.Seq("body", []Counter{C(2)}, func(ix []Expr) {
+		b.Load("ld", d, CI(0), s, 32)
+		b.Compute("c", []Counter{CPar(32, 16)}, func(jx []Expr) []*Assign {
+			return []*Assign{Accum(r, pattern.Add, Ld(s, jx[0]))}
+		})
+	})
+	p := b.MustBuild()
+	if err := d.Bind(pattern.FromF32("d", make([]float32, 32))); err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	var iters []int64
+	_, err := Trace(p, func(ev *ExecEvent) {
+		names = append(names, ev.Ctrl.Name)
+		iters = append(iters, ev.Iters)
+		if len(ev.Path) == 0 || ev.Path[len(ev.Path)-1] != ev.Ctrl {
+			t.Error("event path must end at the leaf")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"ld", "c", "ld", "c"}
+	if len(names) != len(want) {
+		t.Fatalf("got %d events %v, want %v", len(names), names, want)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Errorf("event %d = %s, want %s", i, names[i], want[i])
+		}
+	}
+	if iters[1] != 32 {
+		t.Errorf("compute iters = %d, want 32", iters[1])
+	}
+}
+
+func TestSnapshotSemanticsWithinIteration(t *testing.T) {
+	// Two conditional writes sharing a condition that reads one of the
+	// destinations: both must observe the pre-iteration state.
+	b := NewBuilder("snap", Sequential)
+	a := b.SRAM("a", pattern.I32, 4)
+	c := b.SRAM("c", pattern.I32, 4)
+	b.Seq("init", nil, func([]Expr) {
+		b.Compute("setup", []Counter{C(4)}, func(ix []Expr) []*Assign {
+			return []*Assign{StoreAt(a, ix[0], CI(-1))}
+		})
+		b.Compute("both", []Counter{C(4)}, func(ix []Expr) []*Assign {
+			fresh := Eq(Ld(a, ix[0]), CI(-1))
+			return []*Assign{
+				StoreAtIf(a, fresh, ix[0], CI(5)),
+				StoreAtIf(c, fresh, ix[0], CI(7)),
+			}
+		})
+	})
+	st, err := Run(b.MustBuild())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if st.SRAMData(a)[i].I != 5 || st.SRAMData(c)[i].I != 7 {
+			t.Errorf("slot %d: a=%d c=%d, want 5 and 7 (snapshot semantics)",
+				i, st.SRAMData(a)[i].I, st.SRAMData(c)[i].I)
+		}
+	}
+}

@@ -1,0 +1,319 @@
+// Package dram models a multi-channel DDR3 main-memory system — the
+// substitute for the DRAMSim2 configuration the paper simulates with
+// (Section 4.2): 4 DDR3-1600 channels, 51.2 GB/s theoretical peak. The
+// model tracks per-bank row buffers, bank timing (tRCD/tCAS/tRP), per-
+// channel data-bus occupancy and FR-FCFS scheduling, which is what
+// separates dense burst traffic from sparse gather/scatter traffic in the
+// evaluation.
+package dram
+
+import "fmt"
+
+// Config describes the memory system. All timings are in fabric clock
+// cycles (the simulator runs the fabric at 1 GHz, so 1 cycle = 1 ns).
+type Config struct {
+	Channels     int
+	BanksPerChan int
+	RowBytes     int // row-buffer (page) size per bank
+	BurstBytes   int // data transferred per burst (BL8 x 64-bit = 64 B)
+
+	TCAS       int // column access latency
+	TRCD       int // row activate to column access
+	TRP        int // precharge latency
+	TFAW       int // four-activate window: at most 4 activates per TFAW
+	TREFI      int // refresh interval; all banks stall TRFC every TREFI
+	TRFC       int // refresh cycle time
+	BurstCycle int // data-bus cycles one burst occupies
+
+	QueueDepth int // per-channel request queue capacity
+}
+
+// DDR3_1600x4 returns the paper's memory system: 4 channels of DDR3-1600
+// (12.8 GB/s each, 51.2 GB/s total), 8 banks per channel, 2 KB rows, 64 B
+// bursts. Timings are DDR3-1600 CL11 expressed in 1 ns fabric cycles.
+func DDR3_1600x4() Config {
+	return Config{
+		Channels:     4,
+		BanksPerChan: 8,
+		RowBytes:     2048,
+		BurstBytes:   64,
+		TCAS:         14,
+		TRCD:         14,
+		TRP:          14,
+		TFAW:         40,
+		TREFI:        7800, // 7.8 us
+		TRFC:         160,  // 160 ns
+		BurstCycle:   5,    // 64 B / 12.8 GB/s = 5 ns
+		QueueDepth:   64,
+	}
+}
+
+// Request is one burst-granularity memory request.
+type Request struct {
+	Addr  uint64 // byte address (aligned down to BurstBytes internally)
+	Write bool
+	// Done is invoked when the burst completes (data returned for reads,
+	// write committed for writes).
+	Done func(now int64)
+
+	issued int64 // arrival cycle, for FR-FCFS aging
+}
+
+type bank struct {
+	openRow int64 // -1 = closed
+	readyAt int64 // earliest cycle the bank can accept a command
+}
+
+type channel struct {
+	queue   []*Request
+	banks   []bank
+	busFree int64    // earliest cycle the data bus is free
+	acts    [4]int64 // issue times of the last four row activates (tFAW)
+}
+
+// Stats aggregates memory-system activity.
+type Stats struct {
+	Reads, Writes   int64
+	Refreshes       int64
+	RowHits         int64
+	RowMisses       int64 // closed-row activations
+	RowConflicts    int64 // open-row mismatch (precharge + activate)
+	BytesRead       int64
+	BytesWritten    int64
+	TotalLatency    int64 // sum of request latencies, cycles
+	MaxQueueOcc     int
+	StallsQueueFull int64
+}
+
+// AvgLatency returns the mean request latency in cycles.
+func (s Stats) AvgLatency() float64 {
+	n := s.Reads + s.Writes
+	if n == 0 {
+		return 0
+	}
+	return float64(s.TotalLatency) / float64(n)
+}
+
+// DRAM is the memory system instance.
+type DRAM struct {
+	cfg         Config
+	channels    []channel
+	pending     []completion
+	stats       Stats
+	now         int64
+	nextRefresh int64
+}
+
+type completion struct {
+	at  int64
+	req *Request
+}
+
+// New creates a memory system.
+func New(cfg Config) *DRAM {
+	d := &DRAM{cfg: cfg, channels: make([]channel, cfg.Channels),
+		nextRefresh: int64(cfg.TREFI)}
+	for i := range d.channels {
+		d.channels[i].banks = make([]bank, cfg.BanksPerChan)
+		for b := range d.channels[i].banks {
+			d.channels[i].banks[b].openRow = -1
+		}
+		for a := range d.channels[i].acts {
+			d.channels[i].acts[a] = -int64(cfg.TFAW)
+		}
+	}
+	return d
+}
+
+// Config returns the configuration.
+func (d *DRAM) Config() Config { return d.cfg }
+
+// Stats returns a snapshot of activity counters.
+func (d *DRAM) Stats() Stats { return d.stats }
+
+// channelOf maps an address to a channel: burst-granularity interleaving
+// spreads consecutive bursts across channels.
+func (d *DRAM) channelOf(addr uint64) int {
+	return int(addr/uint64(d.cfg.BurstBytes)) % d.cfg.Channels
+}
+
+// bankRowOf maps an address to (bank, row) within its channel.
+func (d *DRAM) bankRowOf(addr uint64) (int, int64) {
+	block := addr / uint64(d.cfg.BurstBytes) / uint64(d.cfg.Channels)
+	row := int64(block * uint64(d.cfg.BurstBytes) / uint64(d.cfg.RowBytes))
+	b := int(row) % d.cfg.BanksPerChan
+	return b, row
+}
+
+// CanAccept reports whether the channel owning addr has queue space.
+func (d *DRAM) CanAccept(addr uint64) bool {
+	ch := &d.channels[d.channelOf(addr)]
+	return len(ch.queue) < d.cfg.QueueDepth
+}
+
+// Submit enqueues a request; it returns false (and drops the request) if
+// the owning channel's queue is full — callers must retry.
+func (d *DRAM) Submit(r *Request) bool {
+	ch := &d.channels[d.channelOf(r.Addr)]
+	if len(ch.queue) >= d.cfg.QueueDepth {
+		d.stats.StallsQueueFull++
+		return false
+	}
+	r.issued = d.now
+	ch.queue = append(ch.queue, r)
+	if occ := len(ch.queue); occ > d.stats.MaxQueueOcc {
+		d.stats.MaxQueueOcc = occ
+	}
+	return true
+}
+
+// Tick advances the memory system to cycle now: schedules one command per
+// idle channel (FR-FCFS: row hits first, then oldest) and fires completed
+// requests' callbacks.
+func (d *DRAM) Tick(now int64) {
+	d.now = now
+	// Fire completions.
+	kept := d.pending[:0]
+	for _, c := range d.pending {
+		if c.at <= now {
+			d.finish(c.req, now)
+		} else {
+			kept = append(kept, c)
+		}
+	}
+	d.pending = kept
+
+	// Periodic refresh: every tREFI, each channel's banks are unavailable
+	// for tRFC and rows close.
+	if d.cfg.TREFI > 0 && now >= d.nextRefresh {
+		d.nextRefresh = now + int64(d.cfg.TREFI)
+		d.stats.Refreshes++
+		for ci := range d.channels {
+			ch := &d.channels[ci]
+			// The refresh occupies the whole channel for tRFC: already-
+			// reserved transfers push out and banks reopen afterwards.
+			if ch.busFree < now {
+				ch.busFree = now
+			}
+			ch.busFree += int64(d.cfg.TRFC)
+			until := ch.busFree
+			for b := range ch.banks {
+				if ch.banks[b].readyAt < until {
+					ch.banks[b].readyAt = until
+				}
+				ch.banks[b].openRow = -1
+			}
+		}
+	}
+
+	for ci := range d.channels {
+		d.schedule(ci, now)
+	}
+}
+
+func (d *DRAM) finish(r *Request, now int64) {
+	d.stats.TotalLatency += now - r.issued
+	if r.Write {
+		d.stats.Writes++
+		d.stats.BytesWritten += int64(d.cfg.BurstBytes)
+	} else {
+		d.stats.Reads++
+		d.stats.BytesRead += int64(d.cfg.BurstBytes)
+	}
+	if r.Done != nil {
+		r.Done(now)
+	}
+}
+
+func (d *DRAM) schedule(ci int, now int64) {
+	ch := &d.channels[ci]
+	if len(ch.queue) == 0 {
+		return
+	}
+	// FR-FCFS: first ready row hit, else oldest whose bank is ready.
+	pick := -1
+	for i, r := range ch.queue {
+		b, row := d.bankRowOf(r.Addr)
+		bk := &ch.banks[b]
+		if bk.readyAt <= now && bk.openRow == row {
+			pick = i
+			break
+		}
+	}
+	if pick < 0 {
+		for i, r := range ch.queue {
+			b, _ := d.bankRowOf(r.Addr)
+			if ch.banks[b].readyAt <= now {
+				pick = i
+				break
+			}
+		}
+	}
+	if pick < 0 {
+		return
+	}
+	r := ch.queue[pick]
+	ch.queue = append(ch.queue[:pick], ch.queue[pick+1:]...)
+
+	b, row := d.bankRowOf(r.Addr)
+	bk := &ch.banks[b]
+	var accessLatency int64
+	switch {
+	case bk.openRow == row:
+		d.stats.RowHits++
+		accessLatency = int64(d.cfg.TCAS)
+	case bk.openRow == -1:
+		d.stats.RowMisses++
+		accessLatency = int64(d.cfg.TRCD + d.cfg.TCAS)
+	default:
+		d.stats.RowConflicts++
+		accessLatency = int64(d.cfg.TRP + d.cfg.TRCD + d.cfg.TCAS)
+	}
+	bk.openRow = row
+	start := now
+	if bk.readyAt > start {
+		start = bk.readyAt
+	}
+	if accessLatency > int64(d.cfg.TCAS) && d.cfg.TFAW > 0 {
+		// Row activate: respect the four-activate window.
+		if w := ch.acts[0] + int64(d.cfg.TFAW); w > start {
+			start = w
+		}
+		copy(ch.acts[:], ch.acts[1:])
+		ch.acts[3] = start
+	}
+	dataAt := start + accessLatency
+	if dataAt < ch.busFree {
+		dataAt = ch.busFree
+	}
+	done := dataAt + int64(d.cfg.BurstCycle)
+	ch.busFree = dataAt + int64(d.cfg.BurstCycle)
+	// Column commands pipeline: the bank accepts the next command after
+	// tCCD (~ one burst) plus any activate/precharge work, while this
+	// request's data is still in flight.
+	bk.readyAt = start + int64(d.cfg.BurstCycle) + (accessLatency - int64(d.cfg.TCAS))
+	d.pending = append(d.pending, completion{at: done, req: r})
+}
+
+// Idle reports whether no requests are queued or in flight.
+func (d *DRAM) Idle() bool {
+	if len(d.pending) > 0 {
+		return false
+	}
+	for i := range d.channels {
+		if len(d.channels[i].queue) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// PeakBandwidth returns bytes/cycle at full bus utilisation.
+func (c Config) PeakBandwidth() float64 {
+	return float64(c.Channels) * float64(c.BurstBytes) / float64(c.BurstCycle)
+}
+
+func (c Config) String() string {
+	return fmt.Sprintf("%d ch x %d banks, %dB rows, %dB bursts, CAS/RCD/RP %d/%d/%d",
+		c.Channels, c.BanksPerChan, c.RowBytes, c.BurstBytes, c.TCAS, c.TRCD, c.TRP)
+}

@@ -1,0 +1,320 @@
+// Package dse reproduces the paper's design-space exploration: the
+// parameter sweeps of Figure 7 (benchmark-normalised PCU area overhead as
+// each PCU parameter varies), the parameter selection of Table 3, and the
+// ASIC-to-generalized-architecture area-overhead ladder of Table 6.
+package dse
+
+import (
+	"fmt"
+	"math"
+
+	"plasticine/internal/arch"
+	"plasticine/internal/compiler"
+	"plasticine/internal/stats"
+	"plasticine/internal/workloads"
+)
+
+// Infeasible marks parameter values a benchmark cannot map to (the x marks
+// in Figure 7).
+var Infeasible = math.Inf(1)
+
+// Bench couples a benchmark name with its virtual compute units.
+type Bench struct {
+	Name string
+	PCUs []*compiler.VirtualPCU
+	PMUs []*compiler.VirtualPMU
+}
+
+// LoadBenches allocates virtual units for the Figure 7 benchmark set: the
+// twelve Table 4 workloads the paper sweeps (CNN is excluded there).
+func LoadBenches() ([]*Bench, error) {
+	var out []*Bench
+	for _, b := range workloads.All() {
+		if b.Name() == "CNN" {
+			continue
+		}
+		p, err := b.Build()
+		if err != nil {
+			return nil, fmt.Errorf("dse: %s: %w", b.Name(), err)
+		}
+		v, err := compiler.Allocate(p)
+		if err != nil {
+			return nil, fmt.Errorf("dse: %s: %w", b.Name(), err)
+		}
+		out = append(out, &Bench{Name: b.Name(), PCUs: v.PCUs, PMUs: v.PMUs})
+	}
+	return out, nil
+}
+
+// pcuRanges is the full design space of Table 3, used when minimising the
+// remaining parameters.
+var pcuRanges = map[string][]int{
+	"stages":     {1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16},
+	"registers":  {2, 3, 4, 5, 6, 7, 8, 10, 12, 14, 16},
+	"scalarIns":  {1, 2, 3, 4, 5, 6, 8, 10},
+	"scalarOuts": {1, 2, 3, 4, 5, 6},
+	"vectorIns":  {2, 3, 4, 5, 6, 8, 10},
+	"vectorOuts": {1, 2, 3, 4, 5, 6},
+}
+
+// panelValues are the x-axes Figure 7 actually plots.
+var panelValues = map[string][]int{
+	"stages":     {4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16},
+	"registers":  {2, 3, 4, 5, 6, 7, 8, 10, 12, 14, 16},
+	"scalarIns":  {1, 2, 3, 4, 5, 6, 8, 10},
+	"scalarOuts": {1, 2, 3, 4, 5, 6},
+	"vectorIns":  {2, 3, 4, 5, 6, 8, 10},
+	"vectorOuts": {1, 2, 3, 4, 5, 6},
+}
+
+func getParam(p *arch.PCUParams, name string) *int {
+	switch name {
+	case "stages":
+		return &p.Stages
+	case "registers":
+		return &p.Registers
+	case "scalarIns":
+		return &p.ScalarIns
+	case "scalarOuts":
+		return &p.ScalarOuts
+	case "vectorIns":
+		return &p.VectorIns
+	case "vectorOuts":
+		return &p.VectorOuts
+	}
+	panic("dse: unknown parameter " + name)
+}
+
+func maxParams() arch.PCUParams {
+	return arch.PCUParams{
+		Lanes: 16, Stages: 16, Registers: 16,
+		ScalarIns: 16, ScalarOuts: 6, VectorIns: 10, VectorOuts: 6,
+	}
+}
+
+// benchPCUArea returns the total PCU area of a benchmark under params, or
+// Infeasible if any unit cannot be partitioned.
+func benchPCUArea(b *Bench, p arch.PCUParams, chip arch.ChipParams) float64 {
+	unitArea := arch.PCUArea(p, chip)
+	total := 0.0
+	for _, u := range b.PCUs {
+		parts, err := compiler.PartitionPCU(u, p)
+		if err != nil {
+			return Infeasible
+		}
+		total += float64(len(parts)*u.Unroll) * unitArea
+	}
+	return total
+}
+
+// minimizeArea performs coordinate descent over the free PCU parameters
+// (those not in fixed) to find the minimum total PCU area for a benchmark —
+// the paper's "sweep the remaining space to find the minimum possible PCU
+// area" (Section 3.7).
+func minimizeArea(b *Bench, fixed map[string]int, chip arch.ChipParams) (arch.PCUParams, float64) {
+	p := maxParams()
+	for name, v := range fixed {
+		*getParam(&p, name) = v
+	}
+	best := benchPCUArea(b, p, chip)
+	if math.IsInf(best, 1) {
+		return p, Infeasible
+	}
+	order := []string{"stages", "registers", "vectorIns", "vectorOuts", "scalarIns", "scalarOuts"}
+	for pass := 0; pass < 2; pass++ {
+		for _, name := range order {
+			if _, isFixed := fixed[name]; isFixed {
+				continue
+			}
+			bestV := *getParam(&p, name)
+			for _, v := range pcuRanges[name] {
+				q := p
+				*getParam(&q, name) = v
+				if a := benchPCUArea(b, q, chip); a < best {
+					best, bestV = a, v
+				}
+			}
+			*getParam(&p, name) = bestV
+		}
+	}
+	return p, best
+}
+
+// Panel is one Figure 7 sub-plot.
+type Panel struct {
+	Param  string
+	Fixed  map[string]int // already-selected parameters (figure caption)
+	Values []int
+	// Overhead[bench][valueIdx] is AreaPCU/MinPCU - 1, or Infeasible.
+	Benchmarks []string
+	Overhead   [][]float64
+	// Average[valueIdx] is the geometric-mean overhead over feasible
+	// benchmarks.
+	Average []float64
+}
+
+// panelSpecs follows the Figure 7 caption: each parameter is swept with the
+// previously selected parameters fixed at their chosen values.
+var panelSpecs = []struct {
+	id    string
+	param string
+	fixed map[string]int
+}{
+	{"a", "stages", map[string]int{}},
+	{"b", "registers", map[string]int{"stages": 6}},
+	{"c", "scalarIns", map[string]int{"stages": 6, "registers": 6}},
+	{"d", "scalarOuts", map[string]int{"stages": 6, "registers": 6, "scalarIns": 6}},
+	{"e", "vectorIns", map[string]int{"stages": 6, "registers": 6}},
+	{"f", "vectorOuts", map[string]int{"stages": 6, "registers": 6, "vectorIns": 3}},
+}
+
+// Figure7 computes one panel (a-f).
+func Figure7(panelID string, benches []*Bench, chip arch.ChipParams) (*Panel, error) {
+	var spec *struct {
+		id    string
+		param string
+		fixed map[string]int
+	}
+	for i := range panelSpecs {
+		if panelSpecs[i].id == panelID {
+			spec = &panelSpecs[i]
+		}
+	}
+	if spec == nil {
+		return nil, fmt.Errorf("dse: unknown Figure 7 panel %q (want a-f)", panelID)
+	}
+	panel := &Panel{Param: spec.param, Fixed: spec.fixed, Values: panelValues[spec.param]}
+	for _, b := range benches {
+		panel.Benchmarks = append(panel.Benchmarks, b.Name)
+		row := make([]float64, len(panel.Values))
+		min := Infeasible
+		for i, v := range panel.Values {
+			fixed := map[string]int{spec.param: v}
+			for k, fv := range spec.fixed {
+				fixed[k] = fv
+			}
+			_, area := minimizeArea(b, fixed, chip)
+			row[i] = area
+			if area < min {
+				min = area
+			}
+		}
+		for i := range row {
+			if math.IsInf(row[i], 1) {
+				row[i] = Infeasible
+			} else {
+				row[i] = row[i]/min - 1
+			}
+		}
+		panel.Overhead = append(panel.Overhead, row)
+	}
+	panel.Average = make([]float64, len(panel.Values))
+	for i := range panel.Values {
+		sum, n := 0.0, 0
+		feasibleForAll := true
+		for _, row := range panel.Overhead {
+			if math.IsInf(row[i], 1) {
+				feasibleForAll = false
+				continue
+			}
+			sum += row[i]
+			n++
+		}
+		if n == 0 || !feasibleForAll {
+			panel.Average[i] = Infeasible
+			if n > 0 {
+				panel.Average[i] = sum / float64(n) // average of feasible ones
+			}
+		} else {
+			panel.Average[i] = sum / float64(n)
+		}
+	}
+	return panel, nil
+}
+
+// BestValue returns the swept value with the lowest average overhead,
+// considering only values feasible for every benchmark.
+func (p *Panel) BestValue() int {
+	best, bestOv := -1, math.Inf(1)
+	for i, v := range p.Values {
+		allFeasible := true
+		for _, row := range p.Overhead {
+			if math.IsInf(row[i], 1) {
+				allFeasible = false
+				break
+			}
+		}
+		if !allFeasible {
+			continue
+		}
+		if p.Average[i] < bestOv {
+			best, bestOv = v, p.Average[i]
+		}
+	}
+	return best
+}
+
+// Format renders a panel as a text table (benchmarks x values).
+func (p *Panel) Format() string {
+	headers := []string{"Benchmark"}
+	for _, v := range p.Values {
+		headers = append(headers, fmt.Sprint(v))
+	}
+	t := stats.New(fmt.Sprintf("Figure 7: normalized area overhead vs %s (x = infeasible)", p.Param), headers...)
+	for bi, name := range p.Benchmarks {
+		row := []string{name}
+		for _, ov := range p.Overhead[bi] {
+			if math.IsInf(ov, 1) {
+				row = append(row, "x")
+			} else {
+				row = append(row, fmt.Sprintf("%.0f%%", 100*ov))
+			}
+		}
+		t.Add(row...)
+	}
+	avg := []string{"Average"}
+	for _, ov := range p.Average {
+		if math.IsInf(ov, 1) {
+			avg = append(avg, "x")
+		} else {
+			avg = append(avg, fmt.Sprintf("%.0f%%", 100*ov))
+		}
+	}
+	t.Add(avg...)
+	return t.String()
+}
+
+// Table3Row is one parameter-selection result.
+type Table3Row struct {
+	Param  string
+	Chosen int
+	Paper  int
+}
+
+// Table3 runs the panel sequence and reports the selected value per
+// parameter next to the paper's choice.
+func Table3(benches []*Bench, chip arch.ChipParams) ([]Table3Row, error) {
+	paper := map[string]int{
+		"stages": 6, "registers": 6, "scalarIns": 6,
+		"scalarOuts": 5, "vectorIns": 3, "vectorOuts": 3,
+	}
+	var out []Table3Row
+	for _, spec := range panelSpecs {
+		p, err := Figure7(spec.id, benches, chip)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Table3Row{Param: spec.param, Chosen: p.BestValue(), Paper: paper[spec.param]})
+	}
+	return out, nil
+}
+
+// FormatTable3 renders the selection table.
+func FormatTable3(rows []Table3Row) string {
+	t := stats.New("Table 3: selected PCU parameters (swept here vs paper)",
+		"Parameter", "Selected", "Paper")
+	for _, r := range rows {
+		t.Add(r.Param, fmt.Sprint(r.Chosen), fmt.Sprint(r.Paper))
+	}
+	return t.String()
+}

@@ -1,0 +1,175 @@
+package dse
+
+import (
+	"math"
+
+	"plasticine/internal/arch"
+	"plasticine/internal/compiler"
+	"plasticine/internal/stats"
+)
+
+// Ladder is one benchmark's row of Table 6: the successive area overheads
+// of (a) making ASIC datapaths reconfigurable, (b) homogenising PMUs within
+// the application, (c) homogenising PCUs, (d) generalising PMUs across
+// applications, and (e) generalising PCUs.
+type Ladder struct {
+	Name string
+	// Successive ratios.
+	A, B, C, D, E float64
+	// Cumulative products after each step.
+	CumB, CumC, CumD, CumE float64
+}
+
+// unitAreas returns the ASIC and heterogeneous-reconfigurable areas of one
+// virtual PCU. Both use the unit's own best parameterisation (per-unit
+// minimizeArea), so heterogeneous sizing is never worse than the
+// homogeneous compromise; the ASIC variant strips configuration overhead
+// (hardwired ops, exactly the live registers, no input FIFOs or control).
+func unitAreas(u *compiler.VirtualPCU, chip arch.ChipParams) (asic, het float64) {
+	single := &Bench{Name: u.Name, PCUs: []*compiler.VirtualPCU{u}}
+	best, area := minimizeArea(single, map[string]int{}, chip)
+	if math.IsInf(area, 1) {
+		best = maxParams()
+	}
+	parts, err := compiler.PartitionPCU(u, best)
+	if err != nil {
+		parts, err = compiler.PartitionPCU(u, maxParams())
+		if err != nil {
+			// Pathological unit; approximate with raw op counts.
+			ops := len(u.Ops)
+			if ops == 0 {
+				ops = 1
+			}
+			asic = float64(ops*u.Lanes) * arch.ASICFUArea() * float64(u.Unroll)
+			return asic, asic / 0.4
+		}
+		best = maxParams()
+	}
+	// Heterogeneous units are sized with their own lane count; the
+	// homogeneous steps later charge the full 16-lane box (which is where
+	// sequential single-lane loops start paying, Section 4.3).
+	best.Lanes = u.Lanes
+	unitArea := arch.PCUArea(best, chip)
+	for _, ph := range parts {
+		het += unitArea
+		fu := float64(ph.StagesUsed*u.Lanes) * arch.ASICFUArea()
+		live := ph.MaxLive
+		if live == 0 {
+			live = 1
+		}
+		regs := float64(ph.StagesUsed*live*u.Lanes) * arch.ASICRegArea()
+		asic += fu + regs
+	}
+	return asic * float64(u.Unroll), het * float64(u.Unroll)
+}
+
+func pmuKB(m *compiler.VirtualPMU) float64 {
+	return float64(m.Mem.Size*m.NBuf) * 4 / 1024
+}
+
+// asicPMUArea is an exact-sized fixed SRAM with hardwired addressing.
+func asicPMUArea(m *compiler.VirtualPMU) float64 {
+	sram := arch.ASICSRAMArea(pmuKB(m))
+	addr := float64(m.AddrOps+m.RMWOps) * arch.ScalarALUArea() * 0.4
+	return float64(m.Unroll) * (sram + addr)
+}
+
+// hetPMUArea is a configurable scratchpad sized exactly for this memory.
+func hetPMUArea(m *compiler.VirtualPMU) float64 {
+	sram := pmuKB(m) * arch.SRAMAreaPerKB()
+	addr := float64(m.AddrOps+m.RMWOps) * arch.ScalarALUArea()
+	return float64(m.Unroll) * (sram + addr + arch.ControlArea())
+}
+
+// Table6 computes the ladder for every benchmark plus the geometric mean.
+func Table6(benches []*Bench, params arch.Params) ([]Ladder, error) {
+	var rows []Ladder
+	geo := Ladder{Name: "GeoMean", A: 1, B: 1, C: 1, D: 1, E: 1, CumB: 1, CumC: 1, CumD: 1, CumE: 1}
+	chip := params.Chip
+	for _, b := range benches {
+		var asicP, hetP float64
+		for _, u := range b.PCUs {
+			a, h := unitAreas(u, chip)
+			asicP += a
+			hetP += h
+		}
+		var asicM, hetM, maxHet float64
+		var pmuCount int
+		for _, m := range b.PMUs {
+			asicM += asicPMUArea(m)
+			h := hetPMUArea(m) / float64(m.Unroll)
+			hetM += h * float64(m.Unroll)
+			if h > maxHet {
+				maxHet = h
+			}
+			pmuCount += m.Unroll
+		}
+		// b: homogeneous PMUs within the app (all sized like the largest).
+		homM := maxHet * float64(pmuCount)
+		// c: homogeneous PCUs within the app (best single box).
+		_, homP := minimizeArea(b, map[string]int{}, chip)
+		if math.IsInf(homP, 1) {
+			homP = hetP // cannot homogenise; treat as unchanged
+		}
+		// d: generalized PMUs (the final 256 KB design).
+		var genM float64
+		for _, m := range b.PMUs {
+			pm, err := compiler.PartitionPMU(m, params)
+			if err != nil {
+				return nil, err
+			}
+			genM += float64(pm.Units()) * arch.PMUArea(params.PMU, chip)
+		}
+		// e: generalized PCUs (the final PCU parameters).
+		genP := benchPCUArea(b, params.PCU, chip)
+		if math.IsInf(genP, 1) {
+			genP = homP
+		}
+
+		a0 := asicP + asicM
+		a1 := hetP + hetM
+		a2 := hetP + homM
+		a3 := homP + homM
+		a4 := homP + genM
+		a5 := genP + genM
+		r := Ladder{
+			Name: b.Name,
+			A:    a1 / a0,
+			B:    a2 / a1, CumB: a2 / a0,
+			C: a3 / a2, CumC: a3 / a0,
+			D: a4 / a3, CumD: a4 / a0,
+			E: a5 / a4, CumE: a5 / a0,
+		}
+		rows = append(rows, r)
+		geo.A *= r.A
+		geo.B *= r.B
+		geo.C *= r.C
+		geo.D *= r.D
+		geo.E *= r.E
+		geo.CumB *= r.CumB
+		geo.CumC *= r.CumC
+		geo.CumD *= r.CumD
+		geo.CumE *= r.CumE
+	}
+	n := float64(len(rows))
+	pow := func(x float64) float64 { return math.Pow(x, 1/n) }
+	geo.A, geo.B, geo.C, geo.D, geo.E = pow(geo.A), pow(geo.B), pow(geo.C), pow(geo.D), pow(geo.E)
+	geo.CumB, geo.CumC, geo.CumD, geo.CumE = pow(geo.CumB), pow(geo.CumC), pow(geo.CumD), pow(geo.CumE)
+	rows = append(rows, geo)
+	return rows, nil
+}
+
+// FormatTable6 renders the ladder in the paper's layout.
+func FormatTable6(rows []Ladder) string {
+	t := stats.New("Table 6: successive (cumulative) area overheads of generalization",
+		"Benchmark", "a. Het", "b. HomPMU", "c. HomPCU", "d. GenPMU", "e. GenPCU")
+	for _, r := range rows {
+		t.Add(r.Name,
+			stats.F(r.A),
+			stats.F(r.B)+" ("+stats.F(r.CumB)+")",
+			stats.F(r.C)+" ("+stats.F(r.CumC)+")",
+			stats.F(r.D)+" ("+stats.F(r.CumD)+")",
+			stats.F(r.E)+" ("+stats.F(r.CumE)+")")
+	}
+	return t.String()
+}

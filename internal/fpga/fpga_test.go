@@ -1,0 +1,94 @@
+package fpga
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestLanesBounded(t *testing.T) {
+	m := StratixV()
+	w := Workload{Flops: 1e6, OpsPerLane: 2, LogicUtil: 0.9}
+	if lanes := m.Lanes(w); lanes > float64(m.MaxBankedLanes) {
+		t.Errorf("lanes = %v, exceeds banked cap %d", lanes, m.MaxBankedLanes)
+	}
+	// A very deep pipeline at low utilization still gets at least one lane.
+	w = Workload{Flops: 1e6, OpsPerLane: 500, LogicUtil: 0.05}
+	if lanes := m.Lanes(w); lanes < 1 {
+		t.Errorf("lanes = %v, want >= 1", lanes)
+	}
+}
+
+func TestMemoryBoundStreaming(t *testing.T) {
+	m := StratixV()
+	// 3 GB streamed: at 30 GB/s effective this is 0.1 s.
+	w := Workload{DenseBytes: 3e9}
+	if got := m.MemoryTime(w); got < 0.099 || got > 0.101 {
+		t.Errorf("memory time = %v, want ~0.1 s", got)
+	}
+}
+
+func TestRandomAccessesCostFullBursts(t *testing.T) {
+	m := StratixV()
+	dense := Workload{DenseBytes: 4e6}
+	sparse := Workload{SparseAccesses: 1e6} // same 4 MB of useful data
+	td, ts := m.MemoryTime(dense), m.MemoryTime(sparse)
+	if ts < 10*td {
+		t.Errorf("random access time %v should dwarf dense %v (ganged wide channel)", ts, td)
+	}
+}
+
+func TestRuntimeIsMaxOfComponents(t *testing.T) {
+	m := StratixV()
+	w := Workload{Flops: 1e9, OpsPerLane: 2, LogicUtil: 0.4, DenseBytes: 1e6, SeqIters: 100, PipeDepth: 30}
+	rt := m.Runtime(w)
+	if rt < m.ComputeTime(w) || rt < m.MemoryTime(w) {
+		t.Error("runtime below one of its components")
+	}
+	if rt != maxf(m.ComputeTime(w), m.MemoryTime(w)) {
+		t.Error("runtime != max(compute,mem)")
+	}
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func TestPowerInPaperRange(t *testing.T) {
+	m := StratixV()
+	// Table 7 FPGA powers span 21.5 - 34.4 W across utilizations.
+	lo := m.Power(Workload{LogicUtil: 0.24, MemUtil: 0.31})
+	hi := m.Power(Workload{LogicUtil: 0.87, MemUtil: 0.99})
+	if lo < 20 || lo > 26 {
+		t.Errorf("low-util power = %.1f W, want ~21-25", lo)
+	}
+	if hi < 28 || hi > 36 {
+		t.Errorf("high-util power = %.1f W, want ~30-35", hi)
+	}
+}
+
+func TestRuntimeMonotonicInWork(t *testing.T) {
+	m := StratixV()
+	f := func(fl, by uint32) bool {
+		w1 := Workload{Flops: float64(fl), DenseBytes: float64(by), OpsPerLane: 2, LogicUtil: 0.5}
+		w2 := w1
+		w2.Flops *= 2
+		w2.DenseBytes *= 2
+		return m.Runtime(w2) >= m.Runtime(w1)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestClockAndBandwidthMatchPaper(t *testing.T) {
+	m := StratixV()
+	if m.ClockHz != 150e6 {
+		t.Errorf("clock = %v, want 150 MHz (Section 4.4)", m.ClockHz)
+	}
+	if m.BandwidthBps != 37.5e9 {
+		t.Errorf("bandwidth = %v, want 37.5 GB/s (Section 4.4)", m.BandwidthBps)
+	}
+}

@@ -1,0 +1,157 @@
+package pattern
+
+import "fmt"
+
+// Pattern is one of the four parallel patterns of Table 1. Every pattern
+// has an index Domain (the range of each loop dimension) and one or more
+// body expressions.
+type Pattern interface {
+	// Domain returns the extent of each index dimension, outermost first.
+	Domain() []int
+	// Name identifies the pattern kind.
+	Name() string
+	validate() error
+}
+
+// MapPat creates one output element per index using function F
+// (Table 1: Map). The output has the same shape as the domain.
+type MapPat struct {
+	Dom []int
+	F   Expr
+}
+
+// FoldPat first maps each index through F, then reduces with the
+// associative Combine op starting from Zero (Table 1: Fold).
+type FoldPat struct {
+	Dom     []int
+	Zero    Expr
+	F       Expr
+	Combine Op
+}
+
+// FlatMapPat produces zero or one element per index: when Cond holds, F's
+// value is appended to the flat output (Table 1: FlatMap, restricted to the
+// filter special case used throughout the paper, e.g. TPC-H Q6).
+type FlatMapPat struct {
+	Dom  []int
+	Cond Expr
+	F    Expr
+}
+
+// HashReducePat generates a key with K and a tuple of values with V for
+// every index; values with equal keys are combined element-wise with the
+// associative Combine op (Table 1: HashReduce).
+type HashReducePat struct {
+	Dom     []int
+	K       Expr // i32 key
+	V       []Expr
+	Combine Op
+	// DenseKeys, when positive, declares the key space [0, DenseKeys) so
+	// accumulators can be statically allocated (dense HashReduce).
+	DenseKeys int
+}
+
+func (p *MapPat) Domain() []int        { return p.Dom }
+func (p *FoldPat) Domain() []int       { return p.Dom }
+func (p *FlatMapPat) Domain() []int    { return p.Dom }
+func (p *HashReducePat) Domain() []int { return p.Dom }
+
+func (p *MapPat) Name() string        { return "Map" }
+func (p *FoldPat) Name() string       { return "Fold" }
+func (p *FlatMapPat) Name() string    { return "FlatMap" }
+func (p *HashReducePat) Name() string { return "HashReduce" }
+
+// Map builds a MapPat.
+func Map(dom []int, f Expr) *MapPat { return &MapPat{Dom: dom, F: f} }
+
+// Fold builds a FoldPat.
+func Fold(dom []int, zero Expr, f Expr, combine Op) *FoldPat {
+	return &FoldPat{Dom: dom, Zero: zero, F: f, Combine: combine}
+}
+
+// Filter builds the filtering FlatMapPat.
+func Filter(dom []int, cond, f Expr) *FlatMapPat {
+	return &FlatMapPat{Dom: dom, Cond: cond, F: f}
+}
+
+// HashReduce builds a HashReducePat.
+func HashReduce(dom []int, k Expr, v []Expr, combine Op, denseKeys int) *HashReducePat {
+	return &HashReducePat{Dom: dom, K: k, V: v, Combine: combine, DenseKeys: denseKeys}
+}
+
+func validDomain(dom []int) error {
+	if len(dom) == 0 {
+		return fmt.Errorf("pattern: empty index domain")
+	}
+	for d, n := range dom {
+		if n <= 0 {
+			return fmt.Errorf("pattern: domain dim %d has extent %d, must be positive", d, n)
+		}
+	}
+	return nil
+}
+
+func maxIdxDim(e Expr) int {
+	max := -1
+	Walk(e, func(x Expr) {
+		if ix, ok := x.(*Idx); ok && ix.Dim > max {
+			max = ix.Dim
+		}
+	})
+	return max
+}
+
+func (p *MapPat) validate() error {
+	if err := validDomain(p.Dom); err != nil {
+		return err
+	}
+	if d := maxIdxDim(p.F); d >= len(p.Dom) {
+		return fmt.Errorf("pattern: Map body uses index dim %d, domain has %d dims", d, len(p.Dom))
+	}
+	return nil
+}
+
+func (p *FoldPat) validate() error {
+	if err := validDomain(p.Dom); err != nil {
+		return err
+	}
+	if !p.Combine.IsAssociative() {
+		return fmt.Errorf("pattern: Fold combine op %v is not associative", p.Combine)
+	}
+	if p.Zero.Type() != p.F.Type() {
+		return fmt.Errorf("pattern: Fold zero type %v != body type %v", p.Zero.Type(), p.F.Type())
+	}
+	if d := maxIdxDim(p.F); d >= len(p.Dom) {
+		return fmt.Errorf("pattern: Fold body uses index dim %d, domain has %d dims", d, len(p.Dom))
+	}
+	return nil
+}
+
+func (p *FlatMapPat) validate() error {
+	if err := validDomain(p.Dom); err != nil {
+		return err
+	}
+	if p.Cond.Type() != Bool {
+		return fmt.Errorf("pattern: FlatMap condition has type %v, want bool", p.Cond.Type())
+	}
+	return nil
+}
+
+func (p *HashReducePat) validate() error {
+	if err := validDomain(p.Dom); err != nil {
+		return err
+	}
+	if p.K.Type() != I32 {
+		return fmt.Errorf("pattern: HashReduce key has type %v, want i32", p.K.Type())
+	}
+	if len(p.V) == 0 {
+		return fmt.Errorf("pattern: HashReduce needs at least one value function")
+	}
+	if !p.Combine.IsAssociative() {
+		return fmt.Errorf("pattern: HashReduce combine op %v is not associative", p.Combine)
+	}
+	return nil
+}
+
+// Validate checks a pattern for structural errors.
+func Validate(p Pattern) error { return p.validate() }

@@ -1,0 +1,85 @@
+package pattern
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Format renders an expression as a compact prefix string, e.g.
+// "add(mul(a[i0], b[i0]), 1)". Useful in compiler diagnostics and tests.
+func Format(e Expr) string {
+	var b strings.Builder
+	format(&b, e)
+	return b.String()
+}
+
+func format(b *strings.Builder, e Expr) {
+	switch n := e.(type) {
+	case *ConstF:
+		fmt.Fprintf(b, "%g", n.V)
+	case *ConstI:
+		fmt.Fprintf(b, "%d", n.V)
+	case *ConstB:
+		fmt.Fprintf(b, "%t", n.V)
+	case *Idx:
+		fmt.Fprintf(b, "i%d", n.Dim)
+	case *ToF32:
+		b.WriteString("f32(")
+		format(b, n.X)
+		b.WriteString(")")
+	case *ToI32:
+		b.WriteString("i32(")
+		format(b, n.X)
+		b.WriteString(")")
+	case *Un:
+		fmt.Fprintf(b, "%v(", n.Op)
+		format(b, n.X)
+		b.WriteString(")")
+	case *Bin:
+		fmt.Fprintf(b, "%v(", n.Op)
+		format(b, n.X)
+		b.WriteString(", ")
+		format(b, n.Y)
+		b.WriteString(")")
+	case *Mux:
+		b.WriteString("mux(")
+		format(b, n.Cond)
+		b.WriteString(", ")
+		format(b, n.T)
+		b.WriteString(", ")
+		format(b, n.F)
+		b.WriteString(")")
+	case *Read:
+		b.WriteString(n.Coll.Name)
+		b.WriteString("[")
+		for i, ix := range n.Index {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			format(b, ix)
+		}
+		b.WriteString("]")
+	default:
+		fmt.Fprintf(b, "<%T>", e)
+	}
+}
+
+// FormatPattern renders a pattern header, e.g. "Fold(1024) combine=add".
+func FormatPattern(p Pattern) string {
+	dom := make([]string, len(p.Domain()))
+	for i, d := range p.Domain() {
+		dom[i] = fmt.Sprint(d)
+	}
+	s := fmt.Sprintf("%s(%s)", p.Name(), strings.Join(dom, ", "))
+	switch pat := p.(type) {
+	case *FoldPat:
+		s += fmt.Sprintf(" combine=%v body=%s", pat.Combine, Format(pat.F))
+	case *MapPat:
+		s += " body=" + Format(pat.F)
+	case *FlatMapPat:
+		s += fmt.Sprintf(" cond=%s body=%s", Format(pat.Cond), Format(pat.F))
+	case *HashReducePat:
+		s += fmt.Sprintf(" key=%s combine=%v", Format(pat.K), pat.Combine)
+	}
+	return s
+}

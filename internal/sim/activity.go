@@ -1,0 +1,93 @@
+// Package sim is the cycle-level performance simulator for compiled
+// Plasticine programs — the substitute for the paper's VCS + DRAMSim2
+// cycle-accurate setup (Section 4.2). A traced functional execution of the
+// DHDL program is replayed into a timed activity graph whose dependency
+// edges implement the paper's distributed control protocols (Section 3.5):
+// sequential token barriers, coarse-grained pipelining with N-buffered
+// memories (credits), and streaming (fill-offset) edges. Compute activities
+// advance at one vector per cycle through pipelines sized by the compiler;
+// transfer activities issue bursts into the DDR3 model and contend for
+// bandwidth with every concurrently running transfer.
+package sim
+
+import (
+	"plasticine/internal/dhdl"
+)
+
+type actKind int
+
+const (
+	actCompute actKind = iota
+	actTransfer
+	actBarrier
+)
+
+// depKind selects which time of the upstream activity gates the dependent.
+type depKind int
+
+const (
+	// endToStart: downstream starts after upstream fully completes
+	// (token passing).
+	endToStart depKind = iota
+	// fillToStart: downstream starts once the upstream pipeline produces
+	// its first results (streaming through FIFOs).
+	fillToStart
+)
+
+type dep struct {
+	on   *activity
+	kind depKind
+}
+
+// activity is one leaf-controller execution (or a sequencing barrier) on
+// the simulated timeline.
+type activity struct {
+	id   int
+	kind actKind
+	leaf *dhdl.Controller // nil for barriers
+
+	// Compute timing.
+	dur  int64 // cycles from start to completion (firings + drain)
+	fill int64 // cycles from start to first output (pipeline depth)
+
+	// Transfer work.
+	bursts []uint64 // burst-aligned byte addresses
+	write  bool
+
+	deps       []dep
+	dependents []*activity
+	nDepsLeft  int
+
+	start, end int64
+	resolved   bool
+}
+
+func (a *activity) addDep(on *activity, k depKind) {
+	if on == nil || on == a {
+		return
+	}
+	// Duplicate edges are harmless but wasteful; cheap dedup on the last
+	// few entries catches the common repeats.
+	for i := len(a.deps) - 1; i >= 0 && i >= len(a.deps)-4; i-- {
+		if a.deps[i].on == on && a.deps[i].kind == k {
+			return
+		}
+	}
+	a.deps = append(a.deps, dep{on, k})
+	if !on.resolved {
+		a.nDepsLeft++
+		on.dependents = append(on.dependents, a)
+	}
+}
+
+// gateTime is the earliest start this dependency permits.
+func (d dep) gateTime() int64 {
+	if d.kind == fillToStart {
+		t := d.on.start + d.on.fill
+		if t > d.on.end {
+			t = d.on.end
+		}
+		return t
+	}
+	return d.on.end
+}

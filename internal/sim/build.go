@@ -1,0 +1,540 @@
+package sim
+
+import (
+	"fmt"
+
+	"plasticine/internal/compiler"
+	"plasticine/internal/dhdl"
+)
+
+const burstBytes = 64
+
+// builder consumes traced execution events and grows the activity graph.
+type builder struct {
+	m    *compiler.Mapping
+	acts []*activity
+
+	// DRAM buffer base addresses (4 KB aligned).
+	base map[*dhdl.DRAMBuf]uint64
+
+	// Per-physical-unit occupancy: the last execution on each unroll copy
+	// of each leaf (keyed by leaf plus copy-lane).
+	lastOfLeaf map[string]*activity
+	// lastXferKey identifies the enclosing iteration of the last transfer
+	// per leaf: rows of one tiled transfer merge into a single AG command
+	// stream rather than separate round-trips.
+	lastXferKey map[*dhdl.Controller]string
+
+	// Per-memory version state for RAW/WAR edges. Memories are privatised
+	// per unroll copy (the compiler duplicates PMUs under outer
+	// parallelization), so the key combines the object with the copy
+	// identity.
+	mems map[memKey]*memVersions
+
+	// Per-Sequential-controller-instance subtree barriers, keyed by the
+	// controller plus its enclosing iteration (unrolled copies of a
+	// Sequential subtree are independent instances).
+	seq map[string]*seqState
+
+	// Static access sets per leaf.
+	reads, writes map[*dhdl.Controller][]any
+
+	// Coalescing-unit state survives across sparse transfers of the same
+	// leaf only; a fresh cache per activity is a close, simpler model.
+	coalesceWindow int
+	// disableNBuffer forces single buffering everywhere (ablation).
+	disableNBuffer bool
+}
+
+type memVersions struct {
+	nbuf int
+	// writers of the current version; readers per live version (ring of
+	// length nbuf, index 0 = current).
+	writers        []*activity
+	readers        [][]*activity
+	readSinceWrite bool
+}
+
+type seqState struct {
+	key     string
+	group   []*activity
+	barrier *activity
+}
+
+func newBuilder(m *compiler.Mapping) *builder {
+	b := &builder{
+		m:              m,
+		base:           map[*dhdl.DRAMBuf]uint64{},
+		lastOfLeaf:     map[string]*activity{},
+		lastXferKey:    map[*dhdl.Controller]string{},
+		mems:           map[memKey]*memVersions{},
+		seq:            map[string]*seqState{},
+		reads:          map[*dhdl.Controller][]any{},
+		writes:         map[*dhdl.Controller][]any{},
+		coalesceWindow: 64,
+	}
+	var addr uint64 = 1 << 20 // leave page 0 unmapped
+	for _, d := range m.Prog.DRAMs {
+		b.base[d] = addr
+		n := uint64(d.Bytes())
+		addr += (n + 4095) &^ 4095
+	}
+	return b
+}
+
+func (b *builder) newActivity(k actKind, leaf *dhdl.Controller) *activity {
+	a := &activity{id: len(b.acts), kind: k, leaf: leaf}
+	b.acts = append(b.acts, a)
+	return a
+}
+
+// handle processes one traced leaf execution.
+func (b *builder) handle(ev *dhdl.ExecEvent) {
+	var a *activity
+	if ev.Ctrl.Kind == dhdl.ComputeKind {
+		a = b.newActivity(actCompute, ev.Ctrl)
+		lm := b.m.Leaves[ev.Ctrl]
+		lanes := int64(lm.Lanes)
+		ownUnroll := int64(ownChainUnroll(ev.Ctrl))
+		firings := (ev.Iters + lanes*ownUnroll - 1) / (lanes * ownUnroll)
+		if firings < 1 {
+			firings = 1
+		}
+		a.fill = int64(lm.PipelineDepth)
+		a.dur = a.fill + (firings-1)*int64(lm.II)
+	} else {
+		// Chain iterations of one tiled transfer (e.g. the rows of a 2-D
+		// tile) form a single AG command stream: merge them into the
+		// previous activity of the same enclosing iteration.
+		unit := unitKey(ev)
+		key := envPrefixKey(ev)
+		if prev := b.lastOfLeaf[unit]; prev != nil && prev.kind == actTransfer &&
+			!prev.resolved && b.lastXferKey[ev.Ctrl] == key && len(ev.Ctrl.Chain) > 0 {
+			prev.bursts = append(prev.bursts, b.burstsFor(ev)...)
+			return
+		}
+		a = b.newActivity(actTransfer, ev.Ctrl)
+		a.write = ev.Write
+		a.bursts = b.burstsFor(ev)
+		a.fill = 8 // command path through AG and coalescing unit
+		b.lastXferKey[ev.Ctrl] = key
+	}
+
+	// Occupancy: successive executions on the same physical unit (the
+	// same unroll copy-lane of the same leaf) serialize.
+	unit := unitKey(ev)
+	if prev := b.lastOfLeaf[unit]; prev != nil {
+		a.addDep(prev, endToStart)
+	}
+	b.lastOfLeaf[unit] = a
+
+	// Sequential ancestors serialize their child subtrees with tokens.
+	b.applySequentialBarriers(ev, a)
+
+	// Memory dependencies, privatised per unroll copy.
+	copyID := copyKey(ev)
+	streamParent := directParent(ev.Path)
+	for _, mm := range b.leafReads(ev.Ctrl) {
+		mv := b.memState(mm, copyID)
+		for _, w := range mv.writers {
+			kind := endToStart
+			if streamParent != nil && streamParent.Kind == dhdl.Stream && sameParentLeaf(w, ev, streamParent) {
+				kind = fillToStart
+			}
+			a.addDep(w, kind)
+		}
+		mv.readers[0] = append(mv.readers[0], a)
+		mv.readSinceWrite = true
+	}
+	for _, mm := range b.leafWrites(ev.Ctrl) {
+		mv := b.memState(mm, copyID)
+		if mv.readSinceWrite && !b.isRMW(ev.Ctrl, mm) {
+			// New version: rotate the buffer ring; the slot being reused
+			// must have been drained by its readers (write-after-read with
+			// N-buffer credits, Section 3.5).
+			evicted := mv.readers[len(mv.readers)-1]
+			copy(mv.readers[1:], mv.readers[:len(mv.readers)-1])
+			mv.readers[0] = nil
+			for _, r := range evicted {
+				a.addDep(r, endToStart)
+			}
+			mv.writers = mv.writers[:0]
+			mv.readSinceWrite = false
+		}
+		mv.writers = append(mv.writers, a)
+	}
+}
+
+type memKey struct {
+	mem  any
+	copy string
+}
+
+func (b *builder) memState(m any, copyID string) *memVersions {
+	k := memKey{m, copyID}
+	if mv, ok := b.mems[k]; ok {
+		return mv
+	}
+	nbuf := 1
+	if s, ok := m.(*dhdl.SRAM); ok && !b.disableNBuffer {
+		if mm := b.m.Mems[s]; mm != nil && mm.NBuf > nbuf {
+			nbuf = mm.NBuf
+		}
+	}
+	mv := &memVersions{nbuf: nbuf, readers: make([][]*activity, nbuf)}
+	b.mems[k] = mv
+	return mv
+}
+
+// isRMW reports whether the leaf both reads and writes m in a
+// read-modify-write fashion (ReduceSRAM), which stays within one version.
+func (b *builder) isRMW(c *dhdl.Controller, m any) bool {
+	s, ok := m.(*dhdl.SRAM)
+	if !ok || c.Kind != dhdl.ComputeKind {
+		return false
+	}
+	for _, as := range c.Body {
+		if as.Kind == dhdl.ReduceSRAM && as.SRAM == s {
+			return true
+		}
+	}
+	return false
+}
+
+func (b *builder) applySequentialBarriers(ev *dhdl.ExecEvent, a *activity) {
+	// For each Sequential ancestor, the key is (child subtree, iteration
+	// values of the ancestor's own counters). A key change means the
+	// previous subtree must fully finish before the next starts.
+	for i := 0; i < len(ev.Path)-1; i++ {
+		anc := ev.Path[i]
+		if anc.Kind != dhdl.Sequential {
+			continue
+		}
+		// Instance identity: this controller at this enclosing iteration.
+		inst := fmt.Sprintf("%p", anc)
+		for _, v := range ev.Env[:min(anc.Depth, len(ev.Env))] {
+			inst += fmt.Sprintf(";%d", v)
+		}
+		child := ev.Path[i+1]
+		key := fmt.Sprintf("%p", child)
+		hi := anc.Depth + len(anc.Chain)
+		if hi > len(ev.Env) {
+			hi = len(ev.Env)
+		}
+		for _, v := range ev.Env[anc.Depth:hi] {
+			key += fmt.Sprintf(",%d", v)
+		}
+		st := b.seq[inst]
+		if st == nil {
+			st = &seqState{key: key}
+			b.seq[inst] = st
+		} else if st.key != key {
+			bar := b.newActivity(actBarrier, nil)
+			for _, m := range st.group {
+				bar.addDep(m, endToStart)
+			}
+			st.barrier = bar
+			st.group = nil
+			st.key = key
+		}
+		if st.barrier != nil {
+			a.addDep(st.barrier, endToStart)
+		}
+		st.group = append(st.group, a)
+	}
+}
+
+// ownChainUnroll is the product of non-innermost Par factors of a compute's
+// own counter chain (duplicate pipelines working on one leaf execution).
+func ownChainUnroll(c *dhdl.Controller) int {
+	u := 1
+	for i, ctr := range c.Chain {
+		if i != len(c.Chain)-1 {
+			u *= ctr.Par
+		}
+	}
+	return u
+}
+
+// unitKey identifies the physical unit instance an execution runs on: the
+// leaf plus its copy-lane — position modulo Par at every parallelized
+// counter level above the leaf. Executions with the same unit key share
+// hardware and serialize; different copy-lanes are duplicate units and may
+// overlap (subject to data dependencies).
+func unitKey(ev *dhdl.ExecEvent) string {
+	key := fmt.Sprintf("%p|", ev.Ctrl)
+	level := 0
+	ownDepth := ev.Ctrl.Depth
+	for _, c := range ev.Path {
+		for _, ctr := range c.Chain {
+			if level >= len(ev.Env) || level >= ownDepth {
+				return key
+			}
+			if ctr.Par > 1 {
+				pos := (int(ev.Env[level]) - ctr.Min) / ctr.Step
+				key += fmt.Sprintf("%d,", pos%ctr.Par)
+			}
+			level++
+		}
+	}
+	return key
+}
+
+// copyKey identifies which unroll copy-lane a leaf execution belongs to:
+// position modulo Par at every parallelized counter level above the leaf.
+// Copies run on duplicate units with privatised tile memories; successive
+// waves on the same lane share the physical memory, so its N-buffer
+// write-after-read credits still apply across waves.
+func copyKey(ev *dhdl.ExecEvent) string {
+	key := ""
+	level := 0
+	ownDepth := ev.Ctrl.Depth
+	for _, c := range ev.Path {
+		for _, ctr := range c.Chain {
+			if level >= len(ev.Env) || level >= ownDepth {
+				return key
+			}
+			if ctr.Par > 1 {
+				pos := (int(ev.Env[level]) - ctr.Min) / ctr.Step
+				key += fmt.Sprintf("%d,", pos%ctr.Par)
+			}
+			level++
+		}
+	}
+	return key
+}
+
+// envPrefixKey identifies the enclosing-controller iteration of a leaf
+// execution: the counter values above the leaf's own chain.
+func envPrefixKey(ev *dhdl.ExecEvent) string {
+	d := ev.Ctrl.Depth
+	if d > len(ev.Env) {
+		d = len(ev.Env)
+	}
+	key := ""
+	for _, v := range ev.Env[:d] {
+		key += fmt.Sprintf("%d,", v)
+	}
+	return key
+}
+
+func directParent(path []*dhdl.Controller) *dhdl.Controller {
+	if len(path) < 2 {
+		return nil
+	}
+	return path[len(path)-2]
+}
+
+// sameParentLeaf reports whether activity w's leaf is also a direct child
+// of the given stream parent.
+func sameParentLeaf(w *activity, ev *dhdl.ExecEvent, parent *dhdl.Controller) bool {
+	if w.leaf == nil {
+		return false
+	}
+	for _, ch := range parent.Children {
+		if ch == w.leaf {
+			return true
+		}
+	}
+	return false
+}
+
+// leafReads returns the memory objects a leaf reads (SRAMs, Regs, FIFOs,
+// DRAM buffers), cached per leaf.
+func (b *builder) leafReads(c *dhdl.Controller) []any {
+	if r, ok := b.reads[c]; ok {
+		return r
+	}
+	var out []any
+	seen := map[any]bool{}
+	add := func(m any) {
+		switch v := m.(type) {
+		case *dhdl.SRAM:
+			if v == nil {
+				return
+			}
+		case *dhdl.Reg:
+			if v == nil {
+				return
+			}
+		case *dhdl.FIFOMem:
+			if v == nil {
+				return
+			}
+		case *dhdl.DRAMBuf:
+			if v == nil {
+				return
+			}
+		}
+		if !seen[m] {
+			seen[m] = true
+			out = append(out, m)
+		}
+	}
+	for _, ctr := range c.Chain {
+		if ctr.MaxReg != nil {
+			add(ctr.MaxReg)
+		}
+	}
+	switch c.Kind {
+	case dhdl.ComputeKind:
+		for _, as := range c.Body {
+			exprs := []dhdl.Expr{as.Val}
+			if as.Addr != nil {
+				exprs = append(exprs, as.Addr)
+			}
+			if as.Cond != nil {
+				exprs = append(exprs, as.Cond)
+			}
+			for _, e := range exprs {
+				for _, s := range dhdl.ReadSRAMs(e) {
+					add(s)
+				}
+				for _, f := range dhdl.ReadFIFOs(e) {
+					add(f)
+				}
+				for _, r := range dhdl.ReadRegs(e) {
+					add(r)
+				}
+			}
+			if as.Kind == dhdl.ReduceSRAM {
+				add(as.SRAM)
+			}
+		}
+	default:
+		x := c.Xfer
+		if x.CountReg != nil {
+			add(x.CountReg)
+		}
+		switch c.Kind {
+		case dhdl.LoadKind:
+			add(x.DRAM)
+		case dhdl.StoreKind:
+			add(x.SRAM)
+			add(x.FIFO)
+		case dhdl.GatherKind:
+			add(x.AddrMem)
+			add(x.AddrFIFO)
+			add(x.DRAM)
+		case dhdl.ScatterKind:
+			add(x.AddrMem)
+			add(x.AddrFIFO)
+			add(x.DataMem)
+			add(x.DataFIFO)
+		}
+	}
+	out = dropTypedNils(out)
+	b.reads[c] = out
+	return out
+}
+
+// leafWrites returns the memory objects a leaf writes.
+func (b *builder) leafWrites(c *dhdl.Controller) []any {
+	if w, ok := b.writes[c]; ok {
+		return w
+	}
+	var out []any
+	seen := map[any]bool{}
+	add := func(m any) {
+		if !seen[m] {
+			seen[m] = true
+			out = append(out, m)
+		}
+	}
+	switch c.Kind {
+	case dhdl.ComputeKind:
+		for _, as := range c.Body {
+			switch as.Kind {
+			case dhdl.WriteSRAM, dhdl.ReduceSRAM:
+				add(as.SRAM)
+			case dhdl.WriteReg, dhdl.ReduceReg:
+				add(as.Reg)
+			case dhdl.PushFIFO:
+				add(as.FIFO)
+			}
+		}
+	default:
+		x := c.Xfer
+		switch c.Kind {
+		case dhdl.LoadKind:
+			add(x.SRAM)
+			add(x.FIFO)
+		case dhdl.StoreKind:
+			add(x.DRAM)
+		case dhdl.GatherKind:
+			add(x.SRAM)
+			add(x.FIFO)
+		case dhdl.ScatterKind:
+			add(x.DRAM)
+		}
+	}
+	out = dropTypedNils(out)
+	b.writes[c] = out
+	return out
+}
+
+// dropTypedNils removes typed-nil entries ((*SRAM)(nil) etc.) that slip in
+// through optional transfer fields.
+func dropTypedNils(in []any) []any {
+	out := in[:0]
+	for _, m := range in {
+		switch v := m.(type) {
+		case *dhdl.SRAM:
+			if v == nil {
+				continue
+			}
+		case *dhdl.Reg:
+			if v == nil {
+				continue
+			}
+		case *dhdl.FIFOMem:
+			if v == nil {
+				continue
+			}
+		case *dhdl.DRAMBuf:
+			if v == nil {
+				continue
+			}
+		}
+		out = append(out, m)
+	}
+	return out
+}
+
+// burstsFor converts a transfer event into burst-aligned DRAM addresses.
+// Dense transfers become sequential bursts; sparse transfers go through the
+// coalescing cache, which merges addresses falling into the same burst
+// within a sliding window (Section 3.4).
+func (b *builder) burstsFor(ev *dhdl.ExecEvent) []uint64 {
+	base := b.base[ev.Buf]
+	if len(ev.SparseAddrs) == 0 {
+		startB := base + uint64(ev.DenseOff)*4
+		endB := startB + uint64(ev.DenseLen)*4
+		first := startB &^ (burstBytes - 1)
+		var out []uint64
+		for a := first; a < endB; a += burstBytes {
+			out = append(out, a)
+		}
+		return out
+	}
+	// Coalescing cache: recent-burst window keyed by burst address.
+	window := make(map[uint64]bool, b.coalesceWindow)
+	var order []uint64
+	var out []uint64
+	for _, idx := range ev.SparseAddrs {
+		addr := (base + uint64(ev.DenseOff)*4 + uint64(idx)*4) &^ (burstBytes - 1)
+		if window[addr] {
+			continue
+		}
+		out = append(out, addr)
+		window[addr] = true
+		order = append(order, addr)
+		if len(order) > b.coalesceWindow {
+			// Evict the oldest entry.
+			old := order[0]
+			order = order[1:]
+			delete(window, old)
+		}
+	}
+	return out
+}

@@ -1,0 +1,174 @@
+package sim
+
+import (
+	"testing"
+
+	"plasticine/internal/arch"
+	"plasticine/internal/compiler"
+	"plasticine/internal/dhdl"
+	"plasticine/internal/dram"
+	"plasticine/internal/pattern"
+)
+
+func TestUnitKeyIdentifiesCopyLanes(t *testing.T) {
+	ctrl := &dhdl.Controller{Kind: dhdl.Pipeline, Chain: []dhdl.Counter{dhdl.CStepPar(0, 64, 16, 2)}}
+	leaf := &dhdl.Controller{Kind: dhdl.ComputeKind, Depth: 1}
+	ev := func(v int32) *dhdl.ExecEvent {
+		return &dhdl.ExecEvent{Ctrl: leaf, Path: []*dhdl.Controller{ctrl, leaf}, Env: []int32{v}}
+	}
+	// Iterations 0 and 16 are different copy-lanes of a Par-2 counter
+	// (they overlap on duplicate units); 0 and 32 share lane 0.
+	if unitKey(ev(0)) == unitKey(ev(16)) {
+		t.Error("iterations 0 and 16 are different unroll copies")
+	}
+	if unitKey(ev(0)) != unitKey(ev(32)) {
+		t.Error("iterations 0 and 32 run on the same copy-lane")
+	}
+	if copyKey(ev(0)) != copyKey(ev(32)) {
+		t.Error("copyKey: same lane across waves must share tile memory")
+	}
+	if copyKey(ev(0)) == copyKey(ev(16)) {
+		t.Error("copyKey: different lanes have privatised tiles")
+	}
+}
+
+func TestEnvPrefixKeyIgnoresOwnChain(t *testing.T) {
+	leaf := &dhdl.Controller{Kind: dhdl.LoadKind, Chain: []dhdl.Counter{dhdl.C(4)}, Depth: 1}
+	a := &dhdl.ExecEvent{Ctrl: leaf, Env: []int32{7, 0}}
+	b := &dhdl.ExecEvent{Ctrl: leaf, Env: []int32{7, 3}}
+	c := &dhdl.ExecEvent{Ctrl: leaf, Env: []int32{8, 0}}
+	if envPrefixKey(a) != envPrefixKey(b) {
+		t.Error("rows of one tile share the prefix key")
+	}
+	if envPrefixKey(a) == envPrefixKey(c) {
+		t.Error("different outer iterations must differ")
+	}
+}
+
+func TestCoalescingDedupesWithinWindow(t *testing.T) {
+	m := compileDot(t)
+	b := newBuilder(m)
+	buf := m.Prog.DRAMs[0]
+	// 32 addresses hitting two 64-byte bursts.
+	var addrs []int32
+	for i := 0; i < 32; i++ {
+		addrs = append(addrs, int32(i%32)) // words 0..31 = 2 bursts
+	}
+	ev := &dhdl.ExecEvent{Ctrl: m.Prog.Leaves()[0], Buf: buf, SparseAddrs: addrs}
+	bursts := b.burstsFor(ev)
+	if len(bursts) != 2 {
+		t.Errorf("coalesced to %d bursts, want 2", len(bursts))
+	}
+	// With a single-entry window, alternating addresses defeat coalescing.
+	b.coalesceWindow = 1
+	alt := &dhdl.ExecEvent{Ctrl: m.Prog.Leaves()[0], Buf: buf,
+		SparseAddrs: []int32{0, 100, 1, 101, 2, 102}}
+	if got := len(b.burstsFor(alt)); got != 6 {
+		t.Errorf("window=1 produced %d bursts, want 6", got)
+	}
+}
+
+func TestDenseBurstsCoverRange(t *testing.T) {
+	m := compileDot(t)
+	b := newBuilder(m)
+	buf := m.Prog.DRAMs[0]
+	ev := &dhdl.ExecEvent{Ctrl: m.Prog.Leaves()[0], Buf: buf, DenseOff: 3, DenseLen: 64}
+	bursts := b.burstsFor(ev)
+	// 64 words starting at word 3: bytes 12..268 span 5 bursts.
+	if len(bursts) != 5 {
+		t.Errorf("got %d bursts, want 5", len(bursts))
+	}
+	for i := 1; i < len(bursts); i++ {
+		if bursts[i] != bursts[i-1]+burstBytes {
+			t.Errorf("bursts not contiguous: %v", bursts)
+		}
+	}
+}
+
+func compileDot(t *testing.T) *compiler.Mapping {
+	t.Helper()
+	m, _, _ := dotSetupMapping(t)
+	return m
+}
+
+// dotSetupMapping builds the standard dot mapping without running it.
+func dotSetupMapping(t *testing.T) (*compiler.Mapping, *dhdl.Reg, float64) {
+	t.Helper()
+	return dotSetup(t, 4096, 512, true)
+}
+
+func TestNBufferAblationSlowsPipeline(t *testing.T) {
+	m, _, _ := dotSetup(t, 16384, 1024, true)
+	base, _, err := Run(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, _, _ := dotSetup(t, 16384, 1024, true)
+	abl, _, err := RunOpts(m2, Options{DisableNBuffer: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if abl.Cycles <= base.Cycles {
+		t.Errorf("single-buffered run (%d cycles) should be slower than N-buffered (%d)", abl.Cycles, base.Cycles)
+	}
+}
+
+func TestDRAMOverrideOption(t *testing.T) {
+	m, _, _ := dotSetup(t, 16384, 1024, true)
+	base, _, err := Run(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, _, _ := dotSetup(t, 16384, 1024, true)
+	one := dram.DDR3_1600x4()
+	one.Channels = 1
+	slow, _, err := RunOpts(m2, Options{DRAM: &one})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if float64(slow.Cycles) < 1.5*float64(base.Cycles) {
+		t.Errorf("1-channel run %d cycles vs 4-channel %d; want >=1.5x slower (memory bound)",
+			slow.Cycles, base.Cycles)
+	}
+}
+
+func TestBarriersSerializeSequentialSiblings(t *testing.T) {
+	// Two independent computes (no shared memory) under a Sequential
+	// parent must still serialize; under Parallel they overlap.
+	build := func(kind dhdl.Kind) *compiler.Mapping {
+		b := dhdl.NewBuilder("p", dhdl.Sequential)
+		s1 := b.SRAM("s1", pattern.F32, 4096)
+		d1 := b.SRAM("d1", pattern.F32, 4096)
+		s2 := b.SRAM("s2", pattern.F32, 4096)
+		d2 := b.SRAM("d2", pattern.F32, 4096)
+		body := func([]dhdl.Expr) {
+			b.Compute("c1", []dhdl.Counter{dhdl.CPar(4096, 16)}, func(ix []dhdl.Expr) []*dhdl.Assign {
+				return []*dhdl.Assign{dhdl.StoreAt(d1, ix[0], dhdl.Add(dhdl.Ld(s1, ix[0]), dhdl.CF(1)))}
+			})
+			b.Compute("c2", []dhdl.Counter{dhdl.CPar(4096, 16)}, func(ix []dhdl.Expr) []*dhdl.Assign {
+				return []*dhdl.Assign{dhdl.StoreAt(d2, ix[0], dhdl.Add(dhdl.Ld(s2, ix[0]), dhdl.CF(1)))}
+			})
+		}
+		if kind == dhdl.Sequential {
+			b.Seq("pair", nil, body)
+		} else {
+			b.Par("pair", func() { body(nil) })
+		}
+		m, err := compiler.Compile(b.MustBuild(), arch.Default())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	seqRes, _, err := Run(build(dhdl.Sequential))
+	if err != nil {
+		t.Fatal(err)
+	}
+	parRes, _, err := Run(build(dhdl.Parallel))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if float64(seqRes.Cycles) < 1.7*float64(parRes.Cycles) {
+		t.Errorf("sequential (%d cycles) should be ~2x parallel (%d cycles)", seqRes.Cycles, parRes.Cycles)
+	}
+}

@@ -1,0 +1,144 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+
+	"plasticine/internal/dram"
+)
+
+// agOutstanding is the number of in-flight bursts one transfer's address
+// generator may keep in the coalescing unit (Section 3.4: buffers for
+// multiple outstanding memory requests).
+const agOutstanding = 32
+
+// agIssueWidth is bursts an AG can enqueue per cycle.
+const agIssueWidth = 1
+
+// runningXfer tracks an in-flight transfer activity.
+type runningXfer struct {
+	act       *activity
+	nextBurst int
+	inFlight  int
+	completed int
+}
+
+type startHeap []*activity
+
+func (h startHeap) Len() int           { return len(h) }
+func (h startHeap) Less(i, j int) bool { return h[i].start < h[j].start }
+func (h startHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *startHeap) Push(x any)        { *h = append(*h, x.(*activity)) }
+func (h *startHeap) Pop() any          { old := *h; n := len(old); v := old[n-1]; *h = old[:n-1]; return v }
+
+// engine resolves the activity graph against the DRAM model.
+type engine struct {
+	acts  []*activity
+	dram  *dram.DRAM
+	clock int64
+
+	ready   []*activity // deps satisfied, not yet resolved
+	waiting startHeap   // transfers with known start, awaiting clock
+	running []*runningXfer
+}
+
+// run resolves every activity and returns the makespan in cycles.
+func (e *engine) run() (int64, error) {
+	for _, a := range e.acts {
+		if a.nDepsLeft == 0 {
+			e.ready = append(e.ready, a)
+		}
+	}
+	resolvedCount := 0
+	var makespan int64
+
+	resolve := func(a *activity, start, end int64) {
+		a.start, a.end = start, end
+		a.resolved = true
+		resolvedCount++
+		if end > makespan {
+			makespan = end
+		}
+		for _, d := range a.dependents {
+			d.nDepsLeft--
+			if d.nDepsLeft == 0 {
+				e.ready = append(e.ready, d)
+			}
+		}
+	}
+
+	drainReady := func() {
+		for len(e.ready) > 0 {
+			a := e.ready[len(e.ready)-1]
+			e.ready = e.ready[:len(e.ready)-1]
+			start := int64(0)
+			for _, d := range a.deps {
+				if t := d.gateTime(); t > start {
+					start = t
+				}
+			}
+			switch a.kind {
+			case actBarrier:
+				resolve(a, start, start)
+			case actCompute:
+				resolve(a, start, start+a.dur)
+			case actTransfer:
+				if len(a.bursts) == 0 {
+					resolve(a, start, start+a.fill)
+					continue
+				}
+				a.start = start
+				heap.Push(&e.waiting, a)
+			}
+		}
+	}
+
+	drainReady()
+	for len(e.waiting) > 0 || len(e.running) > 0 {
+		// Admit transfers whose start time has arrived; if idle, jump.
+		if len(e.running) == 0 && len(e.waiting) > 0 && e.waiting[0].start > e.clock {
+			e.clock = e.waiting[0].start
+		}
+		for len(e.waiting) > 0 && e.waiting[0].start <= e.clock {
+			a := heap.Pop(&e.waiting).(*activity)
+			e.running = append(e.running, &runningXfer{act: a})
+		}
+		// Issue bursts from each running transfer's AG.
+		for _, rx := range e.running {
+			for k := 0; k < agIssueWidth; k++ {
+				if rx.nextBurst >= len(rx.act.bursts) || rx.inFlight >= agOutstanding {
+					break
+				}
+				addr := rx.act.bursts[rx.nextBurst]
+				rxc := rx
+				req := &dram.Request{Addr: addr, Write: rx.act.write, Done: func(int64) {
+					rxc.inFlight--
+					rxc.completed++
+				}}
+				if !e.dram.Submit(req) {
+					break // channel queue full; retry next cycle
+				}
+				rx.nextBurst++
+				rx.inFlight++
+			}
+		}
+		e.clock++
+		e.dram.Tick(e.clock)
+		// Retire finished transfers.
+		kept := e.running[:0]
+		for _, rx := range e.running {
+			if rx.completed == len(rx.act.bursts) {
+				resolve(rx.act, rx.act.start, e.clock+rx.act.fill)
+			} else {
+				kept = append(kept, rx)
+			}
+		}
+		e.running = kept
+		drainReady()
+	}
+
+	if resolvedCount != len(e.acts) {
+		return 0, fmt.Errorf("sim: deadlock — resolved %d of %d activities (dependency cycle)", resolvedCount, len(e.acts))
+	}
+	return makespan, nil
+}

@@ -1,0 +1,120 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"plasticine/internal/dram"
+)
+
+func newTestEngine(acts []*activity) *engine {
+	return &engine{acts: acts, dram: dram.New(dram.DDR3_1600x4())}
+}
+
+func TestEngineComputeChain(t *testing.T) {
+	a := &activity{id: 0, kind: actCompute, dur: 10, fill: 4}
+	b := &activity{id: 1, kind: actCompute, dur: 5, fill: 2}
+	b.addDep(a, endToStart)
+	mk, err := newTestEngine([]*activity{a, b}).run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.end != 10 || b.start != 10 || b.end != 15 || mk != 15 {
+		t.Errorf("a=[%d,%d] b=[%d,%d] makespan=%d", a.start, a.end, b.start, b.end, mk)
+	}
+}
+
+func TestEngineFillToStartOverlapsStreaming(t *testing.T) {
+	// A streaming consumer starts once the producer's pipeline fills, not
+	// when it drains.
+	p := &activity{id: 0, kind: actCompute, dur: 100, fill: 8}
+	c := &activity{id: 1, kind: actCompute, dur: 100, fill: 8}
+	c.addDep(p, fillToStart)
+	mk, err := newTestEngine([]*activity{p, c}).run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.start != 8 {
+		t.Errorf("consumer started at %d, want 8 (producer fill)", c.start)
+	}
+	if mk != 108 {
+		t.Errorf("makespan = %d, want 108 (rate-matched overlap)", mk)
+	}
+}
+
+func TestEngineBarrierTakesMaxOfMembers(t *testing.T) {
+	a := &activity{id: 0, kind: actCompute, dur: 30}
+	b := &activity{id: 1, kind: actCompute, dur: 70}
+	bar := &activity{id: 2, kind: actBarrier}
+	bar.addDep(a, endToStart)
+	bar.addDep(b, endToStart)
+	c := &activity{id: 3, kind: actCompute, dur: 10}
+	c.addDep(bar, endToStart)
+	mk, err := newTestEngine([]*activity{a, b, bar, c}).run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.start != 70 || mk != 80 {
+		t.Errorf("c.start=%d makespan=%d, want 70/80", c.start, mk)
+	}
+}
+
+func TestEngineDetectsDeadlock(t *testing.T) {
+	a := &activity{id: 0, kind: actCompute, dur: 1}
+	b := &activity{id: 1, kind: actCompute, dur: 1}
+	a.addDep(b, endToStart)
+	b.addDep(a, endToStart)
+	_, err := newTestEngine([]*activity{a, b}).run()
+	if err == nil || !strings.Contains(err.Error(), "deadlock") {
+		t.Errorf("expected deadlock error, got %v", err)
+	}
+}
+
+func TestEngineTransferContention(t *testing.T) {
+	// Two transfers targeting the same channel take about twice as long
+	// together as one alone.
+	mkBursts := func(n int) []uint64 {
+		out := make([]uint64, n)
+		for i := range out {
+			out[i] = uint64(i * 64 * 4) // all on channel 0
+		}
+		return out
+	}
+	solo := &activity{id: 0, kind: actTransfer, bursts: mkBursts(256)}
+	mk1, err := newTestEngine([]*activity{solo}).run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := &activity{id: 0, kind: actTransfer, bursts: mkBursts(256)}
+	y := &activity{id: 1, kind: actTransfer, bursts: mkBursts(256)}
+	mk2, err := newTestEngine([]*activity{x, y}).run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if float64(mk2) < 1.7*float64(mk1) {
+		t.Errorf("two contending transfers took %d vs solo %d; want ~2x", mk2, mk1)
+	}
+}
+
+func TestEngineEmptyTransferResolves(t *testing.T) {
+	a := &activity{id: 0, kind: actTransfer, fill: 8} // zero bursts
+	mk, err := newTestEngine([]*activity{a}).run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mk != 8 {
+		t.Errorf("makespan = %d, want 8 (fill only)", mk)
+	}
+}
+
+func TestActivityDepDedup(t *testing.T) {
+	a := &activity{id: 0, kind: actCompute}
+	b := &activity{id: 1, kind: actCompute}
+	b.addDep(a, endToStart)
+	b.addDep(a, endToStart) // duplicate
+	b.addDep(b, endToStart) // self
+	b.addDep(nil, endToStart)
+	if b.nDepsLeft != 1 || len(b.deps) != 1 {
+		t.Errorf("deps=%d nDepsLeft=%d, want 1/1", len(b.deps), b.nDepsLeft)
+	}
+}

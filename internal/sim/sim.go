@@ -1,0 +1,115 @@
+package sim
+
+import (
+	"fmt"
+	"time"
+
+	"plasticine/internal/arch"
+	"plasticine/internal/compiler"
+	"plasticine/internal/dhdl"
+	"plasticine/internal/dram"
+)
+
+// Result summarises one simulated program run.
+type Result struct {
+	Cycles  int64
+	Seconds float64 // at the configured fabric clock
+
+	DRAM dram.Stats
+	Util compiler.Utilization
+
+	// PowerW is modelled chip power during the run.
+	PowerW float64
+
+	// Activities and barriers in the timed graph (diagnostics).
+	Activities int
+
+	// WallTime is host time spent simulating.
+	WallTime time.Duration
+}
+
+// Perf returns useful work per second given a work amount (e.g. FLOPs).
+func (r *Result) Perf(work float64) float64 {
+	if r.Seconds == 0 {
+		return 0
+	}
+	return work / r.Seconds
+}
+
+// PerfPerWatt returns work per second per watt.
+func (r *Result) PerfPerWatt(work float64) float64 {
+	if r.PowerW == 0 {
+		return 0
+	}
+	return r.Perf(work) / r.PowerW
+}
+
+// EffectiveBandwidth returns achieved DRAM bandwidth in bytes/second.
+func (r *Result) EffectiveBandwidth() float64 {
+	if r.Seconds == 0 {
+		return 0
+	}
+	return float64(r.DRAM.BytesRead+r.DRAM.BytesWritten) / r.Seconds
+}
+
+// Options tune simulator behaviour for ablation studies.
+type Options struct {
+	// CoalesceWindow sets the coalescing cache size in bursts; 1 disables
+	// address coalescing (every sparse access issues its own burst).
+	// 0 means the default (64).
+	CoalesceWindow int
+	// DisableNBuffer forces every scratchpad to single buffering,
+	// serialising coarse-grained pipelines (Section 3.5 ablation).
+	DisableNBuffer bool
+	// DRAM overrides the memory-system configuration.
+	DRAM *dram.Config
+}
+
+// Run simulates a compiled program. All of the program's DRAM buffers must
+// be bound to collections; the functional results land in those collections
+// and the returned state, exactly as in dhdl.Run, while the returned Result
+// carries the cycle-level timing.
+func Run(m *compiler.Mapping) (*Result, *dhdl.State, error) {
+	return RunOpts(m, Options{})
+}
+
+// RunOpts is Run with ablation options.
+func RunOpts(m *compiler.Mapping, opts Options) (*Result, *dhdl.State, error) {
+	t0 := time.Now()
+	b := newBuilder(m)
+	if opts.CoalesceWindow > 0 {
+		b.coalesceWindow = opts.CoalesceWindow
+	}
+	b.disableNBuffer = opts.DisableNBuffer
+	st, err := dhdl.Trace(m.Prog, b.handle)
+	if err != nil {
+		return nil, nil, fmt.Errorf("sim: functional execution failed: %w", err)
+	}
+	dcfg := dram.DDR3_1600x4()
+	dcfg.Channels = m.Params.Chip.DDRChannels
+	if opts.DRAM != nil {
+		dcfg = *opts.DRAM
+	}
+	ddr := dram.New(dcfg)
+	eng := &engine{acts: b.acts, dram: ddr}
+	cycles, err := eng.run()
+	if err != nil {
+		return nil, nil, err
+	}
+	clockHz := float64(m.Params.Chip.ClockMHz) * 1e6
+	res := &Result{
+		Cycles:     cycles,
+		Seconds:    float64(cycles) / clockHz,
+		DRAM:       ddr.Stats(),
+		Util:       m.Util,
+		Activities: len(b.acts),
+		WallTime:   time.Since(t0),
+	}
+	res.PowerW = arch.Power(m.Params, arch.Activity{
+		PCUUtil: m.Util.PCUFrac,
+		PMUUtil: m.Util.PMUFrac,
+		AGUtil:  m.Util.AGFrac,
+		FUUtil:  m.Util.FUFrac,
+	})
+	return res, st, nil
+}
