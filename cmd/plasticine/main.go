@@ -4,6 +4,7 @@
 //	plasticine info              architecture summary, area, power envelope
 //	plasticine list              the thirteen Table 4 benchmarks
 //	plasticine run <benchmark>   compile + simulate one benchmark
+//	plasticine resilience <b>    degradation sweep under injected faults
 //	plasticine table3            parameter selection (Section 3.7)
 //	plasticine table5            area breakdown
 //	plasticine table6            generalization area-overhead ladder
@@ -20,6 +21,8 @@ import (
 	"plasticine/internal/compiler"
 	"plasticine/internal/core"
 	"plasticine/internal/dse"
+	"plasticine/internal/fault"
+	"plasticine/internal/sim"
 	"plasticine/internal/stats"
 	"plasticine/internal/workloads"
 )
@@ -38,6 +41,8 @@ func main() {
 		err = cmdList()
 	case "run":
 		err = cmdRun(args)
+	case "resilience":
+		err = cmdResilience(args)
 	case "table3":
 		err = cmdTable3()
 	case "table5":
@@ -71,7 +76,11 @@ func usage() {
 commands:
   info              architecture parameters, area and power envelope
   list              available benchmarks (Table 4)
-  run <benchmark>   compile and simulate one benchmark vs the FPGA model
+  run <benchmark> [-faults spec] [-budget cycles]
+                    compile and simulate one benchmark vs the FPGA model,
+                    optionally under an injected fault plan
+  resilience <benchmark> [-seed N]
+                    makespan degradation vs fraction of disabled tiles
   table3            parameter selection sweep (Section 3.7)
   table5            area breakdown (Table 5)
   table6            generalization overhead ladder (Table 6)
@@ -104,14 +113,33 @@ func cmdList() error {
 }
 
 func cmdRun(args []string) error {
-	if len(args) != 1 {
-		return fmt.Errorf("usage: plasticine run <benchmark>")
+	fs := flag.NewFlagSet("run", flag.ContinueOnError)
+	faultSpec := fs.String("faults", "", "fault plan, e.g. seed=1,pcu=4,pmu=2,sw=1,chan=1,retry=0.001")
+	budget := fs.Int64("budget", 0, "abort via the watchdog after this many cycles (0 = unlimited)")
+	if err := fs.Parse(args); err != nil {
+		return err
 	}
-	b, err := workloads.ByName(args[0])
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: plasticine run <benchmark> [-faults spec] [-budget cycles]")
+	}
+	b, err := workloads.ByName(fs.Arg(0))
 	if err != nil {
 		return err
 	}
-	r, err := core.New().RunBenchmark(b)
+	sys := core.New()
+	var plan *fault.Plan
+	if *faultSpec != "" {
+		spec, err := fault.ParseSpec(*faultSpec)
+		if err != nil {
+			return err
+		}
+		plan, err = fault.NewPlan(spec, sys.Params)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("fault plan: %s\n", plan)
+	}
+	r, err := sys.RunBenchmarkOpts(b, plan, sim.Options{MaxCycles: *budget})
 	if err != nil {
 		return err
 	}
@@ -123,6 +151,31 @@ func cmdRun(args []string) error {
 	fmt.Printf("  fpga baseline: %.1f us, %.1f W\n", r.FPGATimeSec*1e6, r.FPGAPowerW)
 	fmt.Printf("  speedup %.2fx (paper %.1fx), perf/W %.2fx (paper %.1fx)\n",
 		r.Speedup, r.PaperSpeedup, r.PerfPerWatt, r.PaperPerfW)
+	if r.Retries > 0 || r.RetriesExhausted > 0 || r.LatencySpikes > 0 {
+		fmt.Printf("  faults: %d burst retries (%d exhausted), %d latency spikes\n",
+			r.Retries, r.RetriesExhausted, r.LatencySpikes)
+	}
+	return nil
+}
+
+func cmdResilience(args []string) error {
+	fs := flag.NewFlagSet("resilience", flag.ContinueOnError)
+	seed := fs.Int64("seed", 1, "fault-plan seed (same seed, same disabled tiles)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: plasticine resilience <benchmark> [-seed N]")
+	}
+	b, err := workloads.ByName(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	rows, err := core.New().Resilience(b, *seed, core.DefaultResilienceFractions())
+	if err != nil {
+		return err
+	}
+	fmt.Print(core.FormatResilience(b.Name(), *seed, rows))
 	return nil
 }
 

@@ -6,6 +6,7 @@ import (
 
 	"plasticine/internal/arch"
 	"plasticine/internal/dhdl"
+	"plasticine/internal/fault"
 )
 
 // LeafMap is the simulator-facing mapping of one leaf controller.
@@ -49,6 +50,12 @@ type Mapping struct {
 	Part    *Partitioned
 	Netlist *Netlist
 
+	// Routes is the switch-fabric routing of every netlist edge; under a
+	// fault plan, affected routes detour around disabled switches.
+	Routes *RouteTable
+	// Faults is the fault plan the program was mapped under (nil = pristine).
+	Faults *fault.Plan
+
 	Leaves map[*dhdl.Controller]*LeafMap
 	Mems   map[*dhdl.SRAM]*MemMap
 	Util   Utilization
@@ -63,6 +70,15 @@ func pmuReadLatency(p arch.Params) int { return p.PMU.Stages + 2 }
 // for the simulator. It fails if the program cannot be expressed on the
 // fabric (constraint violations) or does not fit (too few units).
 func Compile(p *dhdl.Program, params arch.Params) (*Mapping, error) {
+	return CompileWithFaults(p, params, nil)
+}
+
+// CompileWithFaults is Compile under a fault plan: the placer skips
+// disabled tiles, routes detour around disabled switches (lengthening
+// pipeline depths accordingly), and a design that no longer fits the
+// healthy fabric fails with a structured error wrapping ErrInsufficient. A
+// nil (or fault-free) plan reproduces Compile byte-identically.
+func CompileWithFaults(p *dhdl.Program, params arch.Params, plan *fault.Plan) (*Mapping, error) {
 	if err := params.Validate(); err != nil {
 		return nil, err
 	}
@@ -74,18 +90,50 @@ func Compile(p *dhdl.Program, params arch.Params) (*Mapping, error) {
 	if err != nil {
 		return nil, err
 	}
-	if part.TotalPCUs > params.NumPCUs() {
-		return nil, fmt.Errorf("compiler: %s needs %d PCUs, chip has %d", p.Name, part.TotalPCUs, params.NumPCUs())
+	healthyPCUs := params.NumPCUs() - plan.NumDisabledPCUs()
+	healthyPMUs := params.NumPMUs() - plan.NumDisabledPMUs()
+	if part.TotalPCUs > healthyPCUs {
+		return nil, &InsufficientError{Resource: "PCU", Need: part.TotalPCUs,
+			Have: healthyPCUs, Disabled: plan.NumDisabledPCUs()}
 	}
-	if part.TotalPMUs > params.NumPMUs() {
-		return nil, fmt.Errorf("compiler: %s needs %d PMUs, chip has %d", p.Name, part.TotalPMUs, params.NumPMUs())
+	if part.TotalPMUs > healthyPMUs {
+		return nil, &InsufficientError{Resource: "PMU", Need: part.TotalPMUs,
+			Have: healthyPMUs, Disabled: plan.NumDisabledPMUs()}
 	}
 	if part.TotalAGs > params.NumAGs() {
-		return nil, fmt.Errorf("compiler: %s needs %d AGs, chip has %d", p.Name, part.TotalAGs, params.NumAGs())
+		return nil, &InsufficientError{Resource: "AG", Need: part.TotalAGs, Have: params.NumAGs()}
 	}
 	nl := BuildNetlist(part)
-	if err := Place(nl, params); err != nil {
+	if err := PlaceWithFaults(nl, params, plan); err != nil {
 		return nil, err
+	}
+	routes, err := RouteAllWithFaults(nl, params, plan)
+	if err != nil {
+		return nil, err
+	}
+	// Hop distance between two placed nodes: Manhattan on a pristine
+	// fabric; the routed (detoured) path length under switch faults.
+	edgeHops := map[[2]int]int{}
+	if plan.HasSwitchFaults() {
+		for _, r := range routes.Routes {
+			a, b := r.From, r.To
+			if a > b {
+				a, b = b, a
+			}
+			edgeHops[[2]int{a, b}] = len(r.Hops) - 1
+		}
+	}
+	hopLen := func(ai, bi int) int {
+		if plan.HasSwitchFaults() {
+			a, b := ai, bi
+			if a > b {
+				a, b = b, a
+			}
+			if h, ok := edgeHops[[2]int{a, b}]; ok {
+				return h
+			}
+		}
+		return RouteHops(nl.Nodes[ai], nl.Nodes[bi])
 	}
 
 	m := &Mapping{
@@ -94,6 +142,8 @@ func Compile(p *dhdl.Program, params arch.Params) (*Mapping, error) {
 		Virtual: v,
 		Part:    part,
 		Netlist: nl,
+		Routes:  routes,
+		Faults:  plan,
 		Leaves:  map[*dhdl.Controller]*LeafMap{},
 		Mems:    map[*dhdl.SRAM]*MemMap{},
 	}
@@ -106,17 +156,16 @@ func Compile(p *dhdl.Program, params arch.Params) (*Mapping, error) {
 		}
 		depth += stages
 		for i := 1; i < len(chain); i++ {
-			depth += RouteHops(nl.Nodes[chain[i-1]], nl.Nodes[chain[i]])
+			depth += hopLen(chain[i-1], chain[i])
 		}
 		// Input route: longest hop from any source PMU to the first PCU
 		// adds registered-switch latency ahead of the pipeline.
 		if len(chain) > 0 {
-			first := nl.Nodes[chain[0]]
 			maxHop := 0
 			for _, vi := range pc.V.VecIns {
 				if vi.SRAM != nil {
 					if mn, ok := nl.MemNode[vi.SRAM]; ok {
-						if h := RouteHops(first, nl.Nodes[mn]); h > maxHop {
+						if h := hopLen(chain[0], mn); h > maxHop {
 							maxHop = h
 						}
 					}

@@ -66,7 +66,19 @@ var binaryOps = map[string]pattern.Op{
 // EvalStageProgram executes a stage program for a full vector of lanes and
 // returns each lane's final register file plus the per-lane value of every
 // reduce stage (already folded across lanes, broadcast back).
-func EvalStageProgram(stages []StageConfig, lanes []LaneEnv) ([]map[string]pattern.Value, error) {
+func EvalStageProgram(stages []StageConfig, lanes []LaneEnv) (out []map[string]pattern.Value, err error) {
+	// Op semantics delegate to the pattern package; a malformed stage
+	// program (e.g. a boolean fed to an arithmetic op) surfaces as an
+	// error wrapping pattern.ErrEval instead of a panic.
+	defer func() {
+		if r := recover(); r != nil {
+			if pe, ok := r.(*pattern.EvalError); ok {
+				out, err = nil, fmt.Errorf("compiler: stage program: %w", pe)
+				return
+			}
+			panic(r)
+		}
+	}()
 	regs := make([]map[string]pattern.Value, len(lanes))
 	for i := range regs {
 		regs[i] = map[string]pattern.Value{}

@@ -1,12 +1,39 @@
 package compiler
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
 	"plasticine/internal/arch"
 	"plasticine/internal/dhdl"
+	"plasticine/internal/fault"
 )
+
+// ErrInsufficient is wrapped by every "design does not fit" placement
+// failure, including fits that fail only because a fault plan disabled
+// tiles. Callers distinguish capacity problems from programming errors with
+// errors.Is(err, ErrInsufficient).
+var ErrInsufficient = errors.New("compiler: insufficient healthy resources")
+
+// InsufficientError reports exactly which resource ran out during
+// placement, and how much of the shortfall is due to faulted tiles.
+type InsufficientError struct {
+	Resource string // "PCU", "PMU", or "AG"
+	Need     int    // units the design requires
+	Have     int    // healthy units available
+	Disabled int    // units removed by the fault plan
+}
+
+func (e *InsufficientError) Error() string {
+	if e.Disabled > 0 {
+		return fmt.Sprintf("%v: design needs %d %ss, %d healthy on chip (%d disabled by fault plan)",
+			ErrInsufficient, e.Need, e.Resource, e.Have, e.Disabled)
+	}
+	return fmt.Sprintf("%v: design needs %d %ss, chip has %d", ErrInsufficient, e.Need, e.Resource, e.Have)
+}
+
+func (e *InsufficientError) Unwrap() error { return ErrInsufficient }
 
 // NodeKind is the physical resource type a netlist node occupies.
 type NodeKind int
@@ -139,6 +166,15 @@ func BuildNetlist(part *Partitioned) *Netlist {
 // is greedy: nodes in netlist order take the free slot of their type that
 // minimises Manhattan distance to already-placed neighbours.
 func Place(nl *Netlist, p arch.Params) error {
+	return PlaceWithFaults(nl, p, nil)
+}
+
+// PlaceWithFaults is Place under a fault plan: tiles the plan disables are
+// never offered as slots, so the greedy placement re-allocates around them
+// exactly as it fills a smaller chip. A nil plan reproduces Place
+// byte-identically (same slot ordering, same assignments). Failures wrap
+// ErrInsufficient with a per-resource shortfall breakdown.
+func PlaceWithFaults(nl *Netlist, p arch.Params, plan *fault.Plan) error {
 	cols, rows := p.Chip.Cols, p.Chip.Rows
 	type slot struct{ x, y int }
 	var pcuSlots, pmuSlots []slot
@@ -163,10 +199,35 @@ func Place(nl *Netlist, p arch.Params) error {
 	})
 	for _, s := range all {
 		if (s.x+s.y)%2 == 0 {
-			pcuSlots = append(pcuSlots, s)
-		} else {
+			if !plan.PCUDisabled(s.x, s.y) {
+				pcuSlots = append(pcuSlots, s)
+			}
+		} else if !plan.PMUDisabled(s.x, s.y) {
 			pmuSlots = append(pmuSlots, s)
 		}
+	}
+	// Fail fast with the full shortfall rather than opaquely mid-placement.
+	var needPCU, needPMU, needAG int
+	for _, nd := range nl.Nodes {
+		switch nd.Kind {
+		case NodePCU:
+			needPCU++
+		case NodePMU:
+			needPMU++
+		case NodeAG:
+			needAG++
+		}
+	}
+	if needPCU > len(pcuSlots) {
+		return &InsufficientError{Resource: "PCU", Need: needPCU, Have: len(pcuSlots),
+			Disabled: plan.NumDisabledPCUs()}
+	}
+	if needPMU > len(pmuSlots) {
+		return &InsufficientError{Resource: "PMU", Need: needPMU, Have: len(pmuSlots),
+			Disabled: plan.NumDisabledPMUs()}
+	}
+	if needAG > p.NumAGs() {
+		return &InsufficientError{Resource: "AG", Need: needAG, Have: p.NumAGs()}
 	}
 	agLeft, agRight := p.Chip.AGsPerSide, p.Chip.AGsPerSide
 	usedPCU := make([]bool, len(pcuSlots))
@@ -184,7 +245,7 @@ func Place(nl *Netlist, p arch.Params) error {
 				nd.X, nd.Y = cols, agY%rows
 				agRight--
 			} else {
-				return fmt.Errorf("compiler: out of address generators (%d available)", p.NumAGs())
+				return &InsufficientError{Resource: "AG", Need: needAG, Have: p.NumAGs()}
 			}
 			agY++
 		case NodePCU, NodePMU:
@@ -213,9 +274,15 @@ func Place(nl *Netlist, p arch.Params) error {
 				}
 			}
 			if best < 0 {
-				return fmt.Errorf("compiler: design does not fit: out of %s slots (%d available)",
-					map[NodeKind]string{NodePCU: "PCU", NodePMU: "PMU"}[nd.Kind],
-					map[NodeKind]int{NodePCU: len(pcuSlots), NodePMU: len(pmuSlots)}[nd.Kind])
+				res, need, have := "PCU", needPCU, len(pcuSlots)
+				if nd.Kind == NodePMU {
+					res, need, have = "PMU", needPMU, len(pmuSlots)
+				}
+				dis := plan.NumDisabledPCUs()
+				if nd.Kind == NodePMU {
+					dis = plan.NumDisabledPMUs()
+				}
+				return &InsufficientError{Resource: res, Need: need, Have: have, Disabled: dis}
 			}
 			nd.X, nd.Y = slots[best].x, slots[best].y
 			used[best] = true

@@ -11,6 +11,7 @@ import (
 	"plasticine/internal/arch"
 	"plasticine/internal/compiler"
 	"plasticine/internal/dhdl"
+	"plasticine/internal/fault"
 	"plasticine/internal/fpga"
 	"plasticine/internal/sim"
 	"plasticine/internal/stats"
@@ -36,6 +37,13 @@ func WithParams(p arch.Params) *System {
 // Compile maps a DHDL program onto the fabric.
 func (s *System) Compile(p *dhdl.Program) (*compiler.Mapping, error) {
 	return compiler.Compile(p, s.Params)
+}
+
+// CompileFaulted maps a DHDL program onto the fabric under a fault plan:
+// the placer avoids disabled tiles and routes detour dead switches. A nil
+// plan is identical to Compile.
+func (s *System) CompileFaulted(p *dhdl.Program, plan *fault.Plan) (*compiler.Mapping, error) {
+	return compiler.CompileWithFaults(p, s.Params, plan)
 }
 
 // Run compiles and simulates a program whose DRAM buffers are bound.
@@ -68,20 +76,32 @@ type BenchResult struct {
 	PerfPerWatt  float64
 	PaperSpeedup float64
 	PaperPerfW   float64
+
+	// Fault-injection observables (zero on pristine runs).
+	Retries          int64
+	RetriesExhausted int64
+	LatencySpikes    int64
 }
 
 // RunBenchmark executes one Table 4 benchmark end to end, checks its
 // functional output, and models the FPGA baseline on the same instance.
 func (s *System) RunBenchmark(b workloads.Benchmark) (*BenchResult, error) {
+	return s.RunBenchmarkOpts(b, nil, sim.Options{})
+}
+
+// RunBenchmarkOpts is RunBenchmark under a fault plan and simulator
+// options. Faults degrade timing, never results: the functional check must
+// still pass, or the run fails.
+func (s *System) RunBenchmarkOpts(b workloads.Benchmark, plan *fault.Plan, opts sim.Options) (*BenchResult, error) {
 	p, err := b.Build()
 	if err != nil {
 		return nil, fmt.Errorf("core: %s: %w", b.Name(), err)
 	}
-	m, err := s.Compile(p)
+	m, err := s.CompileFaulted(p, plan)
 	if err != nil {
 		return nil, fmt.Errorf("core: %s: %w", b.Name(), err)
 	}
-	res, st, err := sim.Run(m)
+	res, st, err := sim.RunOpts(m, opts)
 	if err != nil {
 		return nil, fmt.Errorf("core: %s: %w", b.Name(), err)
 	}
@@ -115,6 +135,10 @@ func (s *System) RunBenchmark(b workloads.Benchmark) (*BenchResult, error) {
 		FPGAPowerW:   fpgaPower,
 		PaperSpeedup: prof.PaperSpeedup,
 		PaperPerfW:   prof.PaperPerfWatt,
+
+		Retries:          res.DRAM.Retries,
+		RetriesExhausted: res.DRAM.RetriesExhausted,
+		LatencySpikes:    res.DRAM.LatencySpikes,
 	}
 	if res.Seconds > 0 {
 		r.Speedup = fpgaTime / res.Seconds

@@ -1,0 +1,99 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"plasticine/internal/compiler"
+	"plasticine/internal/fault"
+	"plasticine/internal/sim"
+	"plasticine/internal/stats"
+	"plasticine/internal/workloads"
+)
+
+// ResilienceRow is one point of the graceful-degradation sweep: the
+// makespan of a benchmark with a given fraction of compute and memory
+// tiles disabled, relative to the pristine fabric.
+type ResilienceRow struct {
+	Fraction float64 // fraction of PCUs and PMUs disabled
+	PCUsDown int
+	PMUsDown int
+
+	Feasible bool
+	Cycles   int64
+	// Slowdown is Cycles over the pristine (fraction 0) cycles.
+	Slowdown float64
+	// Reason explains an infeasible point (insufficient healthy resources).
+	Reason string
+}
+
+// Resilience sweeps fault fractions for one benchmark with a fixed seed.
+// The fraction-0 point is always included first and is the slowdown
+// baseline; infeasible points (the program no longer fits the healthy
+// fabric) are reported, not treated as errors.
+func (s *System) Resilience(b workloads.Benchmark, seed int64, fracs []float64) ([]ResilienceRow, error) {
+	if len(fracs) == 0 || fracs[0] != 0 {
+		fracs = append([]float64{0}, fracs...)
+	}
+	var out []ResilienceRow
+	var base int64
+	for _, frac := range fracs {
+		row := ResilienceRow{
+			Fraction: frac,
+			PCUsDown: int(frac * float64(s.Params.NumPCUs())),
+			PMUsDown: int(frac * float64(s.Params.NumPMUs())),
+		}
+		var plan *fault.Plan
+		if row.PCUsDown > 0 || row.PMUsDown > 0 {
+			var err error
+			plan, err = fault.NewPlan(fault.Spec{
+				Seed: seed, PCUs: row.PCUsDown, PMUs: row.PMUsDown,
+			}, s.Params)
+			if err != nil {
+				return nil, fmt.Errorf("core: resilience at %.0f%%: %w", 100*frac, err)
+			}
+		}
+		r, err := s.RunBenchmarkOpts(b, plan, sim.Options{})
+		switch {
+		case err == nil:
+			row.Feasible = true
+			row.Cycles = r.Cycles
+			if base == 0 {
+				base = r.Cycles
+			}
+			if base > 0 {
+				row.Slowdown = float64(r.Cycles) / float64(base)
+			}
+		case errors.Is(err, compiler.ErrInsufficient) || errors.Is(err, compiler.ErrNoRoute):
+			row.Reason = err.Error()
+		default:
+			return nil, fmt.Errorf("core: resilience at %.0f%%: %w", 100*frac, err)
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// DefaultResilienceFractions is the sweep the resilience subcommand runs:
+// 0 to 50% of tiles disabled.
+func DefaultResilienceFractions() []float64 {
+	return []float64{0, 0.05, 0.10, 0.15, 0.20, 0.30, 0.40, 0.50}
+}
+
+// FormatResilience renders a sweep as a text table.
+func FormatResilience(name string, seed int64, rows []ResilienceRow) string {
+	t := stats.New(
+		fmt.Sprintf("Resilience: %s makespan vs fraction of disabled tiles (seed %d)", name, seed),
+		"Disabled", "PCUs down", "PMUs down", "Cycles", "Slowdown", "Status")
+	for _, r := range rows {
+		status := "ok"
+		cycles, slow := fmt.Sprint(r.Cycles), fmt.Sprintf("%.3fx", r.Slowdown)
+		if !r.Feasible {
+			status = "does not fit"
+			cycles, slow = "-", "-"
+		}
+		t.Add(fmt.Sprintf("%.0f%%", 100*r.Fraction),
+			fmt.Sprint(r.PCUsDown), fmt.Sprint(r.PMUsDown), cycles, slow, status)
+	}
+	return t.String()
+}

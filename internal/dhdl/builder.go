@@ -55,6 +55,14 @@ func (b *Builder) fail(format string, args ...any) {
 	}
 }
 
+// Errf records a build error from client code (e.g. a body closure that
+// cannot translate an expression). The first recorded error is returned
+// from Build; later ones are dropped.
+func (b *Builder) Errf(format string, args ...any) { b.fail(format, args...) }
+
+// Err returns the first error recorded so far, without finalizing.
+func (b *Builder) Err() error { return b.err }
+
 func (b *Builder) top() *Controller { return b.stack[len(b.stack)-1] }
 
 func (b *Builder) add(c *Controller) {
@@ -295,11 +303,17 @@ func (b *Builder) Build() (*Program, error) {
 	return b.prog, nil
 }
 
-// MustBuild is Build that panics on error; for tests and examples.
+// MustBuild is Build for tests and examples with known-good programs.
+// Unlike its name suggests, it no longer panics: a build failure is
+// accumulated in the builder's error field (visible via Err, and returned
+// again by Build or any later Finalize/Run on the program), and the
+// partially built program is returned so the error surfaces at the next
+// checked boundary instead of crashing the process.
 func (b *Builder) MustBuild() *Program {
 	p, err := b.Build()
 	if err != nil {
-		panic(err)
+		b.fail("%v", err)
+		return b.prog
 	}
 	return p
 }

@@ -96,6 +96,13 @@ func Trace(p *Program, hook ExecHook) (st *State, err error) {
 				st, err = nil, ie.err
 				return
 			}
+			// Expression evaluation delegates to the pattern package,
+			// whose failures arrive as typed panics; surface them as
+			// interpreter errors (wrapping pattern.ErrEval) too.
+			if pe, ok := r.(*pattern.EvalError); ok {
+				st, err = nil, fmt.Errorf("dhdl interp: %w", pe)
+				return
+			}
 			panic(r)
 		}
 	}()

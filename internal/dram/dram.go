@@ -7,7 +7,10 @@
 // evaluation.
 package dram
 
-import "fmt"
+import (
+	"fmt"
+	"math/rand"
+)
 
 // Config describes the memory system. All timings are in fabric clock
 // cycles (the simulator runs the fabric at 1 GHz, so 1 cycle = 1 ns).
@@ -56,7 +59,8 @@ type Request struct {
 	// write committed for writes).
 	Done func(now int64)
 
-	issued int64 // arrival cycle, for FR-FCFS aging
+	issued   int64 // arrival cycle, for FR-FCFS aging
+	attempts int   // transient-failure retries so far
 }
 
 type bank struct {
@@ -83,6 +87,12 @@ type Stats struct {
 	TotalLatency    int64 // sum of request latencies, cycles
 	MaxQueueOcc     int
 	StallsQueueFull int64
+
+	// Fault-injection activity (all zero when no faults are armed).
+	Retries           int64 // transient-failure retries issued
+	RetriesExhausted  int64 // bursts that hit MaxRetries and completed anyway
+	LatencySpikes     int64 // bursts delayed by an injected latency spike
+	StallsChannelDown int64 // submissions rejected with every channel down
 }
 
 // AvgLatency returns the mean request latency in cycles.
@@ -102,6 +112,12 @@ type DRAM struct {
 	stats       Stats
 	now         int64
 	nextRefresh int64
+
+	// Fault injection (nil when the memory system is healthy).
+	faults  *Faults
+	rng     *rand.Rand
+	healthy []int        // channels accepting traffic under the fault plan
+	retryq  []completion // bursts awaiting retry after transient failures
 }
 
 type completion struct {
@@ -132,8 +148,12 @@ func (d *DRAM) Config() Config { return d.cfg }
 func (d *DRAM) Stats() Stats { return d.stats }
 
 // channelOf maps an address to a channel: burst-granularity interleaving
-// spreads consecutive bursts across channels.
+// spreads consecutive bursts across channels. Under a fault plan, traffic
+// owned by a downed channel remaps onto the healthy ones (-1 if none).
 func (d *DRAM) channelOf(addr uint64) int {
+	if d.faults != nil {
+		return d.remapChannel(addr)
+	}
 	return int(addr/uint64(d.cfg.BurstBytes)) % d.cfg.Channels
 }
 
@@ -147,14 +167,22 @@ func (d *DRAM) bankRowOf(addr uint64) (int, int64) {
 
 // CanAccept reports whether the channel owning addr has queue space.
 func (d *DRAM) CanAccept(addr uint64) bool {
-	ch := &d.channels[d.channelOf(addr)]
-	return len(ch.queue) < d.cfg.QueueDepth
+	ci := d.channelOf(addr)
+	if ci < 0 {
+		return false
+	}
+	return len(d.channels[ci].queue) < d.cfg.QueueDepth
 }
 
 // Submit enqueues a request; it returns false (and drops the request) if
 // the owning channel's queue is full — callers must retry.
 func (d *DRAM) Submit(r *Request) bool {
-	ch := &d.channels[d.channelOf(r.Addr)]
+	ci := d.channelOf(r.Addr)
+	if ci < 0 {
+		d.stats.StallsChannelDown++
+		return false
+	}
+	ch := &d.channels[ci]
 	if len(ch.queue) >= d.cfg.QueueDepth {
 		d.stats.StallsQueueFull++
 		return false
@@ -172,16 +200,19 @@ func (d *DRAM) Submit(r *Request) bool {
 // requests' callbacks.
 func (d *DRAM) Tick(now int64) {
 	d.now = now
-	// Fire completions.
+	// Fire completions; bursts hit by a transient fault re-queue instead.
 	kept := d.pending[:0]
 	for _, c := range d.pending {
 		if c.at <= now {
-			d.finish(c.req, now)
+			if !d.maybeRetry(c.req, now) {
+				d.finish(c.req, now)
+			}
 		} else {
 			kept = append(kept, c)
 		}
 	}
 	d.pending = kept
+	d.drainRetries(now)
 
 	// Periodic refresh: every tREFI, each channel's banks are unavailable
 	// for tRFC and rows close.
@@ -282,6 +313,7 @@ func (d *DRAM) schedule(ci int, now int64) {
 		copy(ch.acts[:], ch.acts[1:])
 		ch.acts[3] = start
 	}
+	accessLatency += d.spikeLatency()
 	dataAt := start + accessLatency
 	if dataAt < ch.busFree {
 		dataAt = ch.busFree
@@ -297,7 +329,7 @@ func (d *DRAM) schedule(ci int, now int64) {
 
 // Idle reports whether no requests are queued or in flight.
 func (d *DRAM) Idle() bool {
-	if len(d.pending) > 0 {
+	if len(d.pending) > 0 || len(d.retryq) > 0 {
 		return false
 	}
 	for i := range d.channels {

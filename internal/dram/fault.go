@@ -1,0 +1,151 @@
+package dram
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Faults is the injectable memory-system fault configuration. All draws come
+// from a private PRNG seeded with Seed, and the model is single-threaded, so
+// a fixed seed yields identical behaviour across runs. A nil *Faults (or
+// never calling InjectFaults) leaves the model byte-identical to the
+// unfaulted one: no PRNG is consulted on that path.
+type Faults struct {
+	Seed int64
+
+	// SpikeProb is the per-scheduled-burst probability of a latency spike
+	// of SpikeCycles extra cycles (models degraded cells / thermal
+	// throttling on a channel).
+	SpikeProb   float64
+	SpikeCycles int
+
+	// TransientProb is the per-completed-burst probability of a transient
+	// failure (models a correctable burst error). Failed bursts retry with
+	// exponential backoff: RetryBackoff << attempt cycles, at most
+	// MaxRetries times; a burst that exhausts its retries completes anyway
+	// (higher-level ECC recovery) and is counted in Stats.RetriesExhausted.
+	TransientProb float64
+	MaxRetries    int
+	RetryBackoff  int
+
+	// Down marks channels that are offline. Their traffic remaps
+	// deterministically onto the healthy channels; if every channel is
+	// down, Submit rejects all requests (the simulator's watchdog turns
+	// that into a diagnostic abort instead of a hang).
+	Down []bool
+}
+
+// InjectFaults arms the fault model. Must be called before the first Submit.
+func (d *DRAM) InjectFaults(f *Faults) error {
+	if f == nil {
+		d.faults = nil
+		return nil
+	}
+	if len(f.Down) > d.cfg.Channels {
+		return fmt.Errorf("dram: fault plan marks %d channels, memory system has %d", len(f.Down), d.cfg.Channels)
+	}
+	d.faults = f
+	d.rng = rand.New(rand.NewSource(f.Seed))
+	d.healthy = d.healthy[:0]
+	for c := 0; c < d.cfg.Channels; c++ {
+		if c >= len(f.Down) || !f.Down[c] {
+			d.healthy = append(d.healthy, c)
+		}
+	}
+	return nil
+}
+
+// remapChannel redirects a request owned by a downed channel onto a healthy
+// one, preserving the interleave pattern; returns -1 if none are healthy.
+func (d *DRAM) remapChannel(addr uint64) int {
+	idx := int(addr / uint64(d.cfg.BurstBytes))
+	ch := idx % d.cfg.Channels
+	f := d.faults
+	if f == nil || ch >= len(f.Down) || !f.Down[ch] {
+		return ch
+	}
+	if len(d.healthy) == 0 {
+		return -1
+	}
+	return d.healthy[idx%len(d.healthy)]
+}
+
+// spikeLatency rolls the latency-spike die for one scheduled burst.
+func (d *DRAM) spikeLatency() int64 {
+	f := d.faults
+	if f == nil || f.SpikeProb <= 0 {
+		return 0
+	}
+	if d.rng.Float64() < f.SpikeProb {
+		d.stats.LatencySpikes++
+		return int64(f.SpikeCycles)
+	}
+	return 0
+}
+
+// maybeRetry rolls the transient-failure die for a completed burst. If the
+// burst must retry, it is re-queued after an exponential backoff and true is
+// returned; the caller must not fire its completion.
+func (d *DRAM) maybeRetry(r *Request, now int64) bool {
+	f := d.faults
+	if f == nil || f.TransientProb <= 0 {
+		return false
+	}
+	if d.rng.Float64() >= f.TransientProb {
+		return false
+	}
+	if r.attempts >= f.MaxRetries {
+		d.stats.RetriesExhausted++
+		return false
+	}
+	r.attempts++
+	d.stats.Retries++
+	backoff := int64(f.RetryBackoff) << (r.attempts - 1)
+	d.retryq = append(d.retryq, completion{at: now + backoff, req: r})
+	return true
+}
+
+// drainRetries re-submits bursts whose backoff has elapsed; bursts that find
+// their channel queue full stay queued for the next tick.
+func (d *DRAM) drainRetries(now int64) {
+	if len(d.retryq) == 0 {
+		return
+	}
+	kept := d.retryq[:0]
+	for _, c := range d.retryq {
+		if c.at > now || !d.resubmit(c.req) {
+			kept = append(kept, c)
+		}
+	}
+	d.retryq = kept
+}
+
+// resubmit enqueues a retried request without resetting its arrival cycle,
+// so latency accounting spans all attempts.
+func (d *DRAM) resubmit(r *Request) bool {
+	ci := d.remapChannel(r.Addr)
+	if ci < 0 {
+		d.stats.StallsChannelDown++
+		return false
+	}
+	ch := &d.channels[ci]
+	if len(ch.queue) >= d.cfg.QueueDepth {
+		d.stats.StallsQueueFull++
+		return false
+	}
+	ch.queue = append(ch.queue, r)
+	if occ := len(ch.queue); occ > d.stats.MaxQueueOcc {
+		d.stats.MaxQueueOcc = occ
+	}
+	return true
+}
+
+// QueueOccupancy returns the current per-channel request-queue depths
+// (diagnostics for the simulator's watchdog dump).
+func (d *DRAM) QueueOccupancy() []int {
+	out := make([]int, len(d.channels))
+	for i := range d.channels {
+		out[i] = len(d.channels[i].queue)
+	}
+	return out
+}

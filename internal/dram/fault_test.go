@@ -1,0 +1,151 @@
+package dram
+
+import (
+	"testing"
+)
+
+func TestInjectFaultsValidation(t *testing.T) {
+	d := New(DDR3_1600x4())
+	if err := d.InjectFaults(&Faults{Down: make([]bool, 5)}); err == nil {
+		t.Error("marking more channels than exist must fail")
+	}
+	if err := d.InjectFaults(nil); err != nil {
+		t.Errorf("nil faults: %v", err)
+	}
+}
+
+func TestDownChannelRemap(t *testing.T) {
+	cfg := DDR3_1600x4()
+	d := New(cfg)
+	if err := d.InjectFaults(&Faults{Down: []bool{true}}); err != nil {
+		t.Fatal(err)
+	}
+	d.Tick(0)
+	// Burst 0 natively maps to channel 0, which is down; it must land on a
+	// healthy channel and still complete.
+	done := false
+	if !d.Submit(&Request{Addr: 0, Done: func(int64) { done = true }}) {
+		t.Fatal("submit to remapped channel rejected")
+	}
+	if occ := d.QueueOccupancy(); occ[0] != 0 {
+		t.Errorf("downed channel 0 received a request: %v", occ)
+	}
+	drain(d, 0)
+	if !done {
+		t.Error("remapped request never completed")
+	}
+}
+
+func TestAllChannelsDownRejectsEverything(t *testing.T) {
+	d := New(DDR3_1600x4())
+	if err := d.InjectFaults(&Faults{Down: []bool{true, true, true, true}}); err != nil {
+		t.Fatal(err)
+	}
+	d.Tick(0)
+	if d.CanAccept(0) {
+		t.Error("CanAccept with every channel down")
+	}
+	if d.Submit(&Request{Addr: 0}) {
+		t.Error("Submit with every channel down")
+	}
+	if d.Stats().StallsChannelDown == 0 {
+		t.Error("channel-down stalls not counted")
+	}
+}
+
+func TestTransientRetries(t *testing.T) {
+	d := New(DDR3_1600x4())
+	if err := d.InjectFaults(&Faults{
+		Seed: 5, TransientProb: 1, MaxRetries: 2, RetryBackoff: 8,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	d.Tick(0)
+	completions := 0
+	n := 4
+	for i := 0; i < n; i++ {
+		d.Submit(&Request{Addr: uint64(i * 64), Done: func(int64) { completions++ }})
+	}
+	drain(d, 0)
+	if completions != n {
+		t.Fatalf("only %d/%d bursts completed despite bounded retries", completions, n)
+	}
+	st := d.Stats()
+	// With probability 1 every burst fails until it exhausts MaxRetries.
+	if st.Retries != int64(n*2) {
+		t.Errorf("retries = %d, want %d", st.Retries, n*2)
+	}
+	if st.RetriesExhausted != int64(n) {
+		t.Errorf("exhausted = %d, want %d", st.RetriesExhausted, n)
+	}
+}
+
+func TestRetryDelaysCompletion(t *testing.T) {
+	// A retried burst completes later than an unfaulted one.
+	base := New(DDR3_1600x4())
+	base.Tick(0)
+	var baseAt int64
+	base.Submit(&Request{Addr: 0, Done: func(now int64) { baseAt = now }})
+	drain(base, 0)
+
+	d := New(DDR3_1600x4())
+	if err := d.InjectFaults(&Faults{Seed: 1, TransientProb: 1, MaxRetries: 1, RetryBackoff: 32}); err != nil {
+		t.Fatal(err)
+	}
+	d.Tick(0)
+	var retriedAt int64
+	d.Submit(&Request{Addr: 0, Done: func(now int64) { retriedAt = now }})
+	drain(d, 0)
+	if retriedAt <= baseAt {
+		t.Errorf("retried burst at %d not later than pristine %d", retriedAt, baseAt)
+	}
+}
+
+func TestLatencySpikes(t *testing.T) {
+	d := New(DDR3_1600x4())
+	if err := d.InjectFaults(&Faults{Seed: 3, SpikeProb: 1, SpikeCycles: 500}); err != nil {
+		t.Fatal(err)
+	}
+	d.Tick(0)
+	var doneAt int64
+	d.Submit(&Request{Addr: 0, Done: func(now int64) { doneAt = now }})
+	drain(d, 0)
+	// Pristine latency is 34 cycles (see TestSingleReadLatency); the spike
+	// adds 500.
+	if doneAt != 534 {
+		t.Errorf("spiked read completed at %d, want 534", doneAt)
+	}
+	if d.Stats().LatencySpikes != 1 {
+		t.Errorf("spikes = %d, want 1", d.Stats().LatencySpikes)
+	}
+}
+
+func TestFaultDeterminism(t *testing.T) {
+	run := func() Stats {
+		d := New(DDR3_1600x4())
+		if err := d.InjectFaults(&Faults{Seed: 11, SpikeProb: 0.3, SpikeCycles: 100,
+			TransientProb: 0.2, MaxRetries: 3, RetryBackoff: 16}); err != nil {
+			t.Fatal(err)
+		}
+		d.Tick(0)
+		next, now := 0, int64(0)
+		for !d.Idle() || next < 256 {
+			now++
+			for next < 256 && d.Submit(&Request{Addr: uint64(next * 64)}) {
+				next++
+			}
+			d.Tick(now)
+			if now > 1_000_000 {
+				t.Fatal("faulted stream did not drain")
+			}
+		}
+		return d.Stats()
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Errorf("same seed produced different stats:\n%+v\n%+v", a, b)
+	}
+	if a.Retries == 0 || a.LatencySpikes == 0 {
+		t.Errorf("fault machinery idle under nonzero probabilities: %+v", a)
+	}
+}

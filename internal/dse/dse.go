@@ -5,6 +5,7 @@
 package dse
 
 import (
+	"errors"
 	"fmt"
 	"math"
 
@@ -67,22 +68,26 @@ var panelValues = map[string][]int{
 	"vectorOuts": {1, 2, 3, 4, 5, 6},
 }
 
-func getParam(p *arch.PCUParams, name string) *int {
+// ErrUnknownParam reports a sweep grid naming a PCU parameter that does
+// not exist; the wrapping error identifies the offending name.
+var ErrUnknownParam = errors.New("dse: unknown parameter")
+
+func getParam(p *arch.PCUParams, name string) (*int, error) {
 	switch name {
 	case "stages":
-		return &p.Stages
+		return &p.Stages, nil
 	case "registers":
-		return &p.Registers
+		return &p.Registers, nil
 	case "scalarIns":
-		return &p.ScalarIns
+		return &p.ScalarIns, nil
 	case "scalarOuts":
-		return &p.ScalarOuts
+		return &p.ScalarOuts, nil
 	case "vectorIns":
-		return &p.VectorIns
+		return &p.VectorIns, nil
 	case "vectorOuts":
-		return &p.VectorOuts
+		return &p.VectorOuts, nil
 	}
-	panic("dse: unknown parameter " + name)
+	return nil, fmt.Errorf("%w %q (want one of stages, registers, scalarIns, scalarOuts, vectorIns, vectorOuts)", ErrUnknownParam, name)
 }
 
 func maxParams() arch.PCUParams {
@@ -111,14 +116,18 @@ func benchPCUArea(b *Bench, p arch.PCUParams, chip arch.ChipParams) float64 {
 // (those not in fixed) to find the minimum total PCU area for a benchmark —
 // the paper's "sweep the remaining space to find the minimum possible PCU
 // area" (Section 3.7).
-func minimizeArea(b *Bench, fixed map[string]int, chip arch.ChipParams) (arch.PCUParams, float64) {
+func minimizeArea(b *Bench, fixed map[string]int, chip arch.ChipParams) (arch.PCUParams, float64, error) {
 	p := maxParams()
 	for name, v := range fixed {
-		*getParam(&p, name) = v
+		f, err := getParam(&p, name)
+		if err != nil {
+			return p, Infeasible, fmt.Errorf("dse: %s: fixed grid: %w", b.Name, err)
+		}
+		*f = v
 	}
 	best := benchPCUArea(b, p, chip)
 	if math.IsInf(best, 1) {
-		return p, Infeasible
+		return p, Infeasible, nil
 	}
 	order := []string{"stages", "registers", "vectorIns", "vectorOuts", "scalarIns", "scalarOuts"}
 	for pass := 0; pass < 2; pass++ {
@@ -126,18 +135,27 @@ func minimizeArea(b *Bench, fixed map[string]int, chip arch.ChipParams) (arch.PC
 			if _, isFixed := fixed[name]; isFixed {
 				continue
 			}
-			bestV := *getParam(&p, name)
+			f, err := getParam(&p, name)
+			if err != nil {
+				return p, Infeasible, fmt.Errorf("dse: %s: %w", b.Name, err)
+			}
+			bestV := *f
 			for _, v := range pcuRanges[name] {
 				q := p
-				*getParam(&q, name) = v
+				qf, err := getParam(&q, name)
+				if err != nil {
+					return p, Infeasible, fmt.Errorf("dse: %s: %w", b.Name, err)
+				}
+				*qf = v
 				if a := benchPCUArea(b, q, chip); a < best {
 					best, bestV = a, v
 				}
 			}
-			*getParam(&p, name) = bestV
+			f, _ = getParam(&p, name)
+			*f = bestV
 		}
 	}
-	return p, best
+	return p, best, nil
 }
 
 // Panel is one Figure 7 sub-plot.
@@ -193,7 +211,10 @@ func Figure7(panelID string, benches []*Bench, chip arch.ChipParams) (*Panel, er
 			for k, fv := range spec.fixed {
 				fixed[k] = fv
 			}
-			_, area := minimizeArea(b, fixed, chip)
+			_, area, err := minimizeArea(b, fixed, chip)
+			if err != nil {
+				return nil, fmt.Errorf("dse: panel %s, %s=%d: %w", panelID, spec.param, v, err)
+			}
 			row[i] = area
 			if area < min {
 				min = area

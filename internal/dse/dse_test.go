@@ -1,6 +1,7 @@
 package dse
 
 import (
+	"errors"
 	"math"
 	"strings"
 	"testing"
@@ -194,12 +195,26 @@ func TestTable6LadderShape(t *testing.T) {
 
 func TestMinimizeAreaRespectsFixed(t *testing.T) {
 	bs := benches(t)
-	p, area := minimizeArea(bs[0], map[string]int{"stages": 6}, arch.Default().Chip)
+	p, area, err := minimizeArea(bs[0], map[string]int{"stages": 6}, arch.Default().Chip)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if p.Stages != 6 {
 		t.Errorf("fixed stages ignored: got %d", p.Stages)
 	}
 	if math.IsInf(area, 1) || area <= 0 {
 		t.Errorf("area = %v", area)
+	}
+}
+
+func TestMinimizeAreaUnknownParam(t *testing.T) {
+	bs := benches(t)
+	_, _, err := minimizeArea(bs[0], map[string]int{"lanes?": 4}, arch.Default().Chip)
+	if !errors.Is(err, ErrUnknownParam) {
+		t.Fatalf("want ErrUnknownParam, got %v", err)
+	}
+	if !strings.Contains(err.Error(), "lanes?") {
+		t.Errorf("error does not name the bad parameter: %v", err)
 	}
 }
 

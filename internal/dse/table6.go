@@ -27,8 +27,8 @@ type Ladder struct {
 // (hardwired ops, exactly the live registers, no input FIFOs or control).
 func unitAreas(u *compiler.VirtualPCU, chip arch.ChipParams) (asic, het float64) {
 	single := &Bench{Name: u.Name, PCUs: []*compiler.VirtualPCU{u}}
-	best, area := minimizeArea(single, map[string]int{}, chip)
-	if math.IsInf(area, 1) {
+	best, area, err := minimizeArea(single, map[string]int{}, chip)
+	if err != nil || math.IsInf(area, 1) {
 		best = maxParams()
 	}
 	parts, err := compiler.PartitionPCU(u, best)
@@ -107,7 +107,10 @@ func Table6(benches []*Bench, params arch.Params) ([]Ladder, error) {
 		// b: homogeneous PMUs within the app (all sized like the largest).
 		homM := maxHet * float64(pmuCount)
 		// c: homogeneous PCUs within the app (best single box).
-		_, homP := minimizeArea(b, map[string]int{}, chip)
+		_, homP, err := minimizeArea(b, map[string]int{}, chip)
+		if err != nil {
+			return nil, err
+		}
 		if math.IsInf(homP, 1) {
 			homP = hetP // cannot homogenise; treat as unchanged
 		}

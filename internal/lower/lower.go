@@ -287,7 +287,8 @@ func lowerMap(p *pattern.MapPat, n int, opts Options) (*Result, error) {
 		b.Compute("map", []dhdl.Counter{dhdl.CPar(opts.Tile, opts.Lanes)}, func(jx []dhdl.Expr) []*dhdl.Assign {
 			v, err := cl.translate(p.F, jx[0], dhdl.Add(ix[0], jx[0]))
 			if err != nil {
-				panic(err)
+				b.Errf("lower map: %v", err)
+				return nil
 			}
 			return []*dhdl.Assign{dhdl.StoreAt(tOut, jx[0], v)}
 		})
@@ -313,7 +314,10 @@ func lowerFold(p *pattern.FoldPat, n int, opts Options) (*Result, error) {
 		return nil, err
 	}
 	elem := p.F.Type()
-	zero := pattern.Eval(p.Zero, nil)
+	zero, err := pattern.EvalChecked(p.Zero, nil)
+	if err != nil {
+		return nil, fmt.Errorf("lower fold: zero element: %w", err)
+	}
 	ident, err := identity(p.Combine, elem)
 	if err != nil {
 		return nil, err
@@ -326,7 +330,8 @@ func lowerFold(p *pattern.FoldPat, n int, opts Options) (*Result, error) {
 		b.Compute("fold", []dhdl.Counter{dhdl.CPar(opts.Tile, opts.Lanes)}, func(jx []dhdl.Expr) []*dhdl.Assign {
 			v, err := cl.translate(p.F, jx[0], dhdl.Add(ix[0], jx[0]))
 			if err != nil {
-				panic(err)
+				b.Errf("lower fold: %v", err)
+				return nil
 			}
 			return []*dhdl.Assign{dhdl.Accum(partial, p.Combine, v)}
 		})
@@ -376,11 +381,13 @@ func lowerFilter(p *pattern.FlatMapPat, n int, opts Options) (*Result, error) {
 		b.Compute("filter", []dhdl.Counter{dhdl.CPar(opts.Tile, opts.Lanes)}, func(jx []dhdl.Expr) []*dhdl.Assign {
 			c, err := cl.translate(p.Cond, jx[0], dhdl.Add(ix[0], jx[0]))
 			if err != nil {
-				panic(err)
+				b.Errf("lower filter: %v", err)
+				return nil
 			}
 			v, err := cl.translate(p.F, jx[0], dhdl.Add(ix[0], jx[0]))
 			if err != nil {
-				panic(err)
+				b.Errf("lower filter: %v", err)
+				return nil
 			}
 			return []*dhdl.Assign{
 				dhdl.PushIf(kept, c, v),
@@ -466,13 +473,15 @@ func lowerHashReduce(p *pattern.HashReducePat, n int, opts Options) (*Result, er
 		b.Compute("hash", []dhdl.Counter{dhdl.CPar(opts.Tile, opts.Lanes)}, func(jx []dhdl.Expr) []*dhdl.Assign {
 			key, err := cl.translate(p.K, jx[0], dhdl.Add(ix[0], jx[0]))
 			if err != nil {
-				panic(err)
+				b.Errf("lower hashreduce: %v", err)
+				return nil
 			}
 			var as []*dhdl.Assign
 			for vi, v := range p.V {
 				val, err := cl.translate(v, jx[0], dhdl.Add(ix[0], jx[0]))
 				if err != nil {
-					panic(err)
+					b.Errf("lower hashreduce: %v", err)
+					return nil
 				}
 				as = append(as, dhdl.AccumAt(binSRAMs[vi], p.Combine, key, val))
 			}

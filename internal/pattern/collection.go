@@ -1,7 +1,5 @@
 package pattern
 
-import "fmt"
-
 // Collection is a dense multi-dimensional array that patterns read from and
 // write to. Collections model the data that flows between parallel patterns
 // (Section 2.2); their access patterns determine on-chip banking and
@@ -53,12 +51,12 @@ func (c *Collection) Rank() int { return len(c.Dims) }
 
 func (c *Collection) flatten(idx []int) int {
 	if len(idx) != len(c.Dims) {
-		panic(fmt.Sprintf("pattern: collection %s rank %d indexed with %d indices", c.Name, len(c.Dims), len(idx)))
+		evalFail("pattern: collection %s rank %d indexed with %d indices", c.Name, len(c.Dims), len(idx))
 	}
 	off := 0
 	for d, i := range idx {
 		if i < 0 || i >= c.Dims[d] {
-			panic(fmt.Sprintf("pattern: collection %s index %d out of range [0,%d) in dim %d", c.Name, i, c.Dims[d], d))
+			evalFail("pattern: collection %s index %d out of range [0,%d) in dim %d", c.Name, i, c.Dims[d], d)
 		}
 		off = off*c.Dims[d] + i
 	}

@@ -1,0 +1,50 @@
+package pattern
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrEval is wrapped by every evaluation failure (bad index arity,
+// out-of-range collection access, unknown op). Callers distinguish
+// evaluation errors from validation errors with errors.Is(err, ErrEval).
+var ErrEval = errors.New("pattern: evaluation error")
+
+// EvalError carries the detail of one evaluation failure.
+type EvalError struct{ Msg string }
+
+func (e *EvalError) Error() string { return e.Msg }
+func (e *EvalError) Unwrap() error { return ErrEval }
+
+// evalFail aborts evaluation with a typed panic. The exported entry points
+// (Run, RunHash, EvalChecked) and dhdl.Trace recover it into an error;
+// anything else reaching Eval with malformed input is a programming error
+// at that call site, so internal callers keep the panic.
+func evalFail(format string, args ...any) {
+	panic(&EvalError{Msg: fmt.Sprintf(format, args...)})
+}
+
+// recoverEval converts a typed evaluation panic into *err. Foreign panics
+// (nil-pointer bugs and the like) propagate unchanged.
+func recoverEval(err *error) {
+	if r := recover(); r != nil {
+		if ee, ok := r.(*EvalError); ok {
+			*err = ee
+			return
+		}
+		panic(r)
+	}
+}
+
+// EvalChecked is Eval with an error return instead of a panic, for callers
+// evaluating untrusted or generated expressions.
+func EvalChecked(e Expr, idx []int) (v Value, err error) {
+	defer recoverEval(&err)
+	return Eval(e, idx), nil
+}
+
+// EvalOpChecked is EvalOp with an error return instead of a panic.
+func EvalOpChecked(op Op, x, y Value) (v Value, err error) {
+	defer recoverEval(&err)
+	return EvalOp(op, x, y), nil
+}

@@ -48,7 +48,7 @@ func Eval(e Expr, idx []int) Value {
 		return VB(n.V)
 	case *Idx:
 		if n.Dim >= len(idx) {
-			panic(fmt.Sprintf("pattern: index dim %d evaluated with %d indices", n.Dim, len(idx)))
+			evalFail("pattern: index dim %d evaluated with %d indices", n.Dim, len(idx))
 		}
 		return VI(int32(idx[n.Dim]))
 	case *ToF32:
@@ -76,7 +76,8 @@ func Eval(e Expr, idx []int) Value {
 		}
 		return VI(n.Coll.I32At(ii...))
 	}
-	panic(fmt.Sprintf("pattern: cannot evaluate %T", e))
+	evalFail("pattern: cannot evaluate %T", e)
+	return Value{}
 }
 
 func evalUn(op Op, x Value) Value {
@@ -105,7 +106,8 @@ func evalUn(op Op, x Value) Value {
 	case Rcp:
 		return VF(1 / x.F)
 	}
-	panic(fmt.Sprintf("pattern: bad unary op %v", op))
+	evalFail("pattern: bad unary op %v", op)
+	return Value{}
 }
 
 // EvalOp applies a binary op to two values; exported because the simulator's
@@ -122,7 +124,7 @@ func EvalOp(op Op, x, y Value) Value {
 		case Ne:
 			return VB(x.B != y.B)
 		}
-		panic(fmt.Sprintf("pattern: bad bool op %v", op))
+		evalFail("pattern: bad bool op %v", op)
 	}
 	if x.T == F32 {
 		a, b := x.F, y.F
@@ -152,7 +154,7 @@ func EvalOp(op Op, x, y Value) Value {
 		case Ne:
 			return VB(a != b)
 		}
-		panic(fmt.Sprintf("pattern: bad f32 op %v", op))
+		evalFail("pattern: bad f32 op %v", op)
 	}
 	a, b := x.I, y.I
 	switch op {
@@ -163,8 +165,14 @@ func EvalOp(op Op, x, y Value) Value {
 	case Mul:
 		return VI(a * b)
 	case Div:
+		if b == 0 {
+			evalFail("pattern: i32 division by zero")
+		}
 		return VI(a / b)
 	case Mod:
+		if b == 0 {
+			evalFail("pattern: i32 modulo by zero")
+		}
 		return VI(a % b)
 	case Min:
 		if a < b {
@@ -189,7 +197,8 @@ func EvalOp(op Op, x, y Value) Value {
 	case Ne:
 		return VB(a != b)
 	}
-	panic(fmt.Sprintf("pattern: bad i32 op %v", op))
+	evalFail("pattern: bad i32 op %v", op)
+	return Value{}
 }
 
 // domainIter calls f with every index tuple in dom, in row-major order.
@@ -219,7 +228,11 @@ func domainIter(dom []int, f func(idx []int)) {
 //	FlatMap -> []Value of the kept elements, in domain order
 //
 // HashReduce returns a keyed table; use RunHash for it.
-func Run(p Pattern) ([]Value, error) {
+//
+// Evaluation failures (out-of-range reads, bad ops) surface as errors
+// wrapping ErrEval rather than panics.
+func Run(p Pattern) (out []Value, err error) {
+	defer recoverEval(&err)
 	if err := Validate(p); err != nil {
 		return nil, err
 	}
@@ -251,15 +264,17 @@ func Run(p Pattern) ([]Value, error) {
 }
 
 // RunHash executes a HashReduce and returns the accumulator table.
-func RunHash(p *HashReducePat) (map[int32][]Value, error) {
+// Evaluation failures surface as errors wrapping ErrEval, as in Run.
+func RunHash(p *HashReducePat) (acc map[int32][]Value, err error) {
+	defer recoverEval(&err)
 	if err := Validate(p); err != nil {
 		return nil, err
 	}
-	acc := make(map[int32][]Value)
+	acc = make(map[int32][]Value)
 	domainIter(p.Dom, func(idx []int) {
 		k := Eval(p.K, idx).I
 		if p.DenseKeys > 0 && (k < 0 || int(k) >= p.DenseKeys) {
-			panic(fmt.Sprintf("pattern: dense HashReduce key %d outside [0,%d)", k, p.DenseKeys))
+			evalFail("pattern: dense HashReduce key %d outside [0,%d)", k, p.DenseKeys)
 		}
 		vals := make([]Value, len(p.V))
 		for i, ve := range p.V {

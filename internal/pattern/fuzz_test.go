@@ -1,0 +1,76 @@
+package pattern
+
+import (
+	"errors"
+	"testing"
+)
+
+// decodeExpr turns an arbitrary byte stream into an expression tree. The
+// decoder is total: any input yields some tree, so the fuzzer explores both
+// well-typed and deliberately ill-typed expressions (bool into arithmetic,
+// out-of-range ops, deep nesting, reads off the end of a collection).
+func decodeExpr(data []byte, pos *int, depth int, coll *Collection) Expr {
+	if depth <= 0 || *pos >= len(data) {
+		return &ConstI{V: 1}
+	}
+	b := data[*pos]
+	*pos++
+	arg := func() Expr { return decodeExpr(data, pos, depth-1, coll) }
+	switch b % 10 {
+	case 0:
+		return &ConstF{V: float32(int(b) - 128)}
+	case 1:
+		return &ConstI{V: int32(b) - 64}
+	case 2:
+		return &ConstB{V: b&16 != 0}
+	case 3:
+		return &Idx{Dim: int(b/10) % 4, T: I32}
+	case 4:
+		return &Un{Op: Op(int(b/10) % 24), X: arg()}
+	case 5:
+		return &Bin{Op: Op(int(b/10) % 24), X: arg(), Y: arg()}
+	case 6:
+		return &Mux{Cond: arg(), T: arg(), F: arg()}
+	case 7:
+		return &ToF32{X: arg()}
+	case 8:
+		return &ToI32{X: arg()}
+	default:
+		return &Read{Coll: coll, Index: []Expr{arg()}}
+	}
+}
+
+// FuzzEval proves no panic escapes the evaluation error boundary: every
+// input either evaluates or fails with an error wrapping ErrEval. A panic
+// of any kind is reported by the fuzz engine as a crash.
+func FuzzEval(f *testing.F) {
+	f.Add([]byte{5, 14, 3}, 2, 3)               // bin(op1, un, idx)
+	f.Add([]byte{9, 3, 13}, 0, 0)               // read at idx
+	f.Add([]byte{55, 1, 1}, 1, 1)               // i32 div -> maybe by zero
+	f.Add([]byte{6, 2, 0, 1}, 4, 4)             // mux(bool, f, i)
+	f.Add([]byte{4, 242, 4, 112, 0}, 7, 7)      // nested unaries
+	f.Add([]byte{5, 5, 5, 5, 5, 5, 5, 5}, 0, 1) // deep bin tree
+	f.Fuzz(func(t *testing.T, data []byte, i0, i1 int) {
+		coll := NewF32("c", 8)
+		for i := 0; i < 8; i++ {
+			coll.SetF32(float32(i), i)
+		}
+		pos := 0
+		e := decodeExpr(data, &pos, 6, coll)
+		idx := []int{((i0 % 16) + 16) % 16, ((i1 % 16) + 16) % 16}
+		if _, err := EvalChecked(e, idx); err != nil && !errors.Is(err, ErrEval) {
+			t.Fatalf("non-eval error escaped EvalChecked: %v", err)
+		}
+		// The pattern runners must hold the same boundary.
+		if _, err := Run(Map([]int{3, 3}, e)); err != nil && !errors.Is(err, ErrEval) {
+			// Validation errors are ordinary errors, not eval errors.
+			_ = err
+		}
+		if _, err := Run(Fold([]int{4}, &ConstF{}, e, Add)); err != nil {
+			_ = err
+		}
+		if _, err := RunHash(HashReduce([]int{4}, e, []Expr{e}, Add, 4)); err != nil {
+			_ = err
+		}
+	})
+}

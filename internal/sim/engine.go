@@ -37,9 +37,17 @@ type engine struct {
 	dram  *dram.DRAM
 	clock int64
 
+	// Watchdog: maxCycles is the total cycle budget (0 = unlimited);
+	// stallWindow aborts when no forward progress happens for that many
+	// cycles (0 = the defaultStallWindow; negative disables).
+	maxCycles   int64
+	stallWindow int64
+
 	ready   []*activity // deps satisfied, not yet resolved
 	waiting startHeap   // transfers with known start, awaiting clock
 	running []*runningXfer
+
+	bursts int64 // completed bursts (watchdog progress signal)
 }
 
 // run resolves every activity and returns the makespan in cycles.
@@ -51,6 +59,13 @@ func (e *engine) run() (int64, error) {
 	}
 	resolvedCount := 0
 	var makespan int64
+
+	stallWindow := e.stallWindow
+	if stallWindow == 0 {
+		stallWindow = defaultStallWindow
+	}
+	lastResolved, lastBursts := 0, int64(0)
+	var lastProgressAt int64
 
 	resolve := func(a *activity, start, end int64) {
 		a.start, a.end = start, end
@@ -98,10 +113,12 @@ func (e *engine) run() (int64, error) {
 		// Admit transfers whose start time has arrived; if idle, jump.
 		if len(e.running) == 0 && len(e.waiting) > 0 && e.waiting[0].start > e.clock {
 			e.clock = e.waiting[0].start
+			lastProgressAt = e.clock // a jump is forward progress
 		}
 		for len(e.waiting) > 0 && e.waiting[0].start <= e.clock {
 			a := heap.Pop(&e.waiting).(*activity)
 			e.running = append(e.running, &runningXfer{act: a})
+			lastProgressAt = e.clock // admission is forward progress
 		}
 		// Issue bursts from each running transfer's AG.
 		for _, rx := range e.running {
@@ -114,6 +131,7 @@ func (e *engine) run() (int64, error) {
 				req := &dram.Request{Addr: addr, Write: rx.act.write, Done: func(int64) {
 					rxc.inFlight--
 					rxc.completed++
+					e.bursts++
 				}}
 				if !e.dram.Submit(req) {
 					break // channel queue full; retry next cycle
@@ -124,6 +142,18 @@ func (e *engine) run() (int64, error) {
 		}
 		e.clock++
 		e.dram.Tick(e.clock)
+		// Watchdog: track forward progress (resolved activities or
+		// completed bursts) and enforce the cycle budget.
+		if resolvedCount != lastResolved || e.bursts != lastBursts {
+			lastResolved, lastBursts = resolvedCount, e.bursts
+			lastProgressAt = e.clock
+		}
+		if e.maxCycles > 0 && e.clock >= e.maxCycles {
+			return 0, e.diagnostic(fmt.Sprintf("cycle budget %d exhausted", e.maxCycles), resolvedCount)
+		}
+		if stallWindow > 0 && e.clock-lastProgressAt >= stallWindow {
+			return 0, e.diagnostic(fmt.Sprintf("no forward progress for %d cycles (livelock)", stallWindow), resolvedCount)
+		}
 		// Retire finished transfers.
 		kept := e.running[:0]
 		for _, rx := range e.running {
@@ -138,7 +168,7 @@ func (e *engine) run() (int64, error) {
 	}
 
 	if resolvedCount != len(e.acts) {
-		return 0, fmt.Errorf("sim: deadlock — resolved %d of %d activities (dependency cycle)", resolvedCount, len(e.acts))
+		return 0, e.diagnostic("deadlock (dependency cycle)", resolvedCount)
 	}
 	return makespan, nil
 }

@@ -1,9 +1,11 @@
 package sim
 
 import (
+	"errors"
 	"strings"
 	"testing"
 
+	"plasticine/internal/dhdl"
 	"plasticine/internal/dram"
 )
 
@@ -67,6 +69,89 @@ func TestEngineDetectsDeadlock(t *testing.T) {
 	_, err := newTestEngine([]*activity{a, b}).run()
 	if err == nil || !strings.Contains(err.Error(), "deadlock") {
 		t.Errorf("expected deadlock error, got %v", err)
+	}
+}
+
+func TestWatchdogAbortsLivelockedSchedule(t *testing.T) {
+	// Every DRAM channel is down, so the transfer's bursts can never be
+	// submitted: without a watchdog the engine would spin forever. The
+	// stall detector must abort within the window and name the stuck
+	// activity in its diagnostic.
+	ddr := dram.New(dram.DDR3_1600x4())
+	if err := ddr.InjectFaults(&dram.Faults{Down: []bool{true, true, true, true}}); err != nil {
+		t.Fatal(err)
+	}
+	a := &activity{id: 0, kind: actTransfer,
+		leaf:   &dhdl.Controller{Name: "stuck_load"},
+		bursts: []uint64{0, 64, 128}}
+	eng := &engine{acts: []*activity{a}, dram: ddr, stallWindow: 5000}
+	_, err := eng.run()
+	if err == nil {
+		t.Fatal("livelocked schedule terminated without error")
+	}
+	if !errors.Is(err, ErrWatchdog) {
+		t.Fatalf("want ErrWatchdog, got %v", err)
+	}
+	var w *WatchdogError
+	if !errors.As(err, &w) {
+		t.Fatalf("want *WatchdogError, got %T", err)
+	}
+	if w.Resolved != 0 || w.Total != 1 {
+		t.Errorf("resolved %d/%d, want 0/1", w.Resolved, w.Total)
+	}
+	if len(w.Stuck) != 1 || w.Stuck[0].Name != "stuck_load" || w.Stuck[0].Kind != "transfer" {
+		t.Errorf("stuck dump = %+v, want the stuck_load transfer", w.Stuck)
+	}
+	if len(w.InFlight) != 1 || w.InFlight[0].Total != 3 || w.InFlight[0].Completed != 0 {
+		t.Errorf("in-flight dump = %+v, want stuck_load with 0/3 bursts", w.InFlight)
+	}
+	if len(w.DRAMQueues) != 4 {
+		t.Errorf("DRAM queue dump has %d channels, want 4", len(w.DRAMQueues))
+	}
+	if !strings.Contains(err.Error(), "stuck_load") || !strings.Contains(err.Error(), "no forward progress") {
+		t.Errorf("diagnostic missing activity name or reason: %v", err)
+	}
+	// The abort must happen promptly, within the configured window.
+	if w.Cycle > 6000 {
+		t.Errorf("watchdog tripped at cycle %d, want <= ~5000", w.Cycle)
+	}
+}
+
+func TestWatchdogCycleBudget(t *testing.T) {
+	// A legitimate long transfer aborts once it exceeds the cycle budget.
+	bursts := make([]uint64, 4096)
+	for i := range bursts {
+		bursts[i] = uint64(i * 64)
+	}
+	a := &activity{id: 0, kind: actTransfer,
+		leaf: &dhdl.Controller{Name: "big_load"}, bursts: bursts}
+	eng := &engine{acts: []*activity{a}, dram: dram.New(dram.DDR3_1600x4()), maxCycles: 100}
+	_, err := eng.run()
+	if !errors.Is(err, ErrWatchdog) || !strings.Contains(err.Error(), "cycle budget") {
+		t.Fatalf("want cycle-budget watchdog abort, got %v", err)
+	}
+	// Without a budget the same schedule completes.
+	for _, x := range []*activity{a} {
+		x.resolved, x.nDepsLeft, x.start, x.end = false, 0, 0, 0
+	}
+	a.deps, a.dependents = nil, nil
+	if _, err := newTestEngine([]*activity{a}).run(); err != nil {
+		t.Fatalf("unbudgeted run failed: %v", err)
+	}
+}
+
+func TestWatchdogDeadlockDiagnostic(t *testing.T) {
+	a := &activity{id: 0, kind: actCompute, dur: 1, leaf: &dhdl.Controller{Name: "x"}}
+	b := &activity{id: 1, kind: actCompute, dur: 1, leaf: &dhdl.Controller{Name: "y"}}
+	a.addDep(b, endToStart)
+	b.addDep(a, endToStart)
+	_, err := newTestEngine([]*activity{a, b}).run()
+	if !errors.Is(err, ErrWatchdog) {
+		t.Fatalf("want ErrWatchdog for dependency cycle, got %v", err)
+	}
+	var w *WatchdogError
+	if !errors.As(err, &w) || len(w.Stuck) != 2 {
+		t.Fatalf("want both cycle members in diagnostic, got %v", err)
 	}
 }
 

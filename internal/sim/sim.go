@@ -63,6 +63,18 @@ type Options struct {
 	DisableNBuffer bool
 	// DRAM overrides the memory-system configuration.
 	DRAM *dram.Config
+
+	// Faults arms memory-system fault injection (latency spikes,
+	// transient retries, downed channels). The mapping's own fault plan
+	// (Mapping.Faults) is used when this is nil.
+	Faults *dram.Faults
+	// MaxCycles aborts the run via the watchdog once the simulated clock
+	// passes this budget (0 = unlimited).
+	MaxCycles int64
+	// StallWindow aborts when no forward progress (resolved activity,
+	// completed burst, or admitted transfer) happens for this many cycles.
+	// 0 uses the built-in default; negative disables the stall detector.
+	StallWindow int64
 }
 
 // Run simulates a compiled program. All of the program's DRAM buffers must
@@ -91,7 +103,15 @@ func RunOpts(m *compiler.Mapping, opts Options) (*Result, *dhdl.State, error) {
 		dcfg = *opts.DRAM
 	}
 	ddr := dram.New(dcfg)
-	eng := &engine{acts: b.acts, dram: ddr}
+	faults := opts.Faults
+	if faults == nil && m.Faults != nil {
+		faults = m.Faults.DRAMFaults()
+	}
+	if err := ddr.InjectFaults(faults); err != nil {
+		return nil, nil, err
+	}
+	eng := &engine{acts: b.acts, dram: ddr,
+		maxCycles: opts.MaxCycles, stallWindow: opts.StallWindow}
 	cycles, err := eng.run()
 	if err != nil {
 		return nil, nil, err

@@ -1,0 +1,131 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// ErrWatchdog is wrapped by every simulator abort: cycle-budget overruns,
+// stalls (no forward progress within the stall window), and dependency
+// deadlocks. Callers distinguish a watchdog abort from a compile or
+// functional failure with errors.Is(err, ErrWatchdog).
+var ErrWatchdog = errors.New("sim: watchdog abort")
+
+// defaultStallWindow is the progress watchdog armed on every run: if no
+// activity resolves, no burst completes, and no transfer is admitted for
+// this many cycles, the schedule is livelocked (e.g. every DRAM channel
+// down, or a retry storm) and the engine aborts with a diagnostic instead
+// of spinning forever. Real schedules complete bursts every few hundred
+// cycles, so the window only trips on genuine livelock.
+const defaultStallWindow = 2_000_000
+
+// StuckActivity describes one unresolved activity in a watchdog dump.
+type StuckActivity struct {
+	ID       int
+	Name     string
+	Kind     string // "compute", "transfer", "barrier"
+	DepsLeft int
+}
+
+// StuckTransfer describes one in-flight transfer in a watchdog dump.
+type StuckTransfer struct {
+	Name      string
+	Completed int // bursts finished
+	Total     int // bursts in the transfer
+	InFlight  int // bursts submitted and not yet completed
+}
+
+// WatchdogError is the structured diagnostic the engine returns when it
+// aborts a run: what tripped, how far the schedule got, which activities
+// are stuck, which transfers are mid-flight, and how full each DRAM
+// channel queue is.
+type WatchdogError struct {
+	Reason     string
+	Cycle      int64
+	Resolved   int // activities resolved before the abort
+	Total      int // activities in the schedule
+	Stuck      []StuckActivity
+	InFlight   []StuckTransfer
+	DRAMQueues []int // per-channel request-queue occupancy
+}
+
+func (e *WatchdogError) Unwrap() error { return ErrWatchdog }
+
+func (e *WatchdogError) Error() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%v: %s at cycle %d (%d/%d activities resolved)",
+		ErrWatchdog, e.Reason, e.Cycle, e.Resolved, e.Total)
+	const maxListed = 8
+	if len(e.Stuck) > 0 {
+		b.WriteString("\n  unresolved:")
+		for i, s := range e.Stuck {
+			if i == maxListed {
+				fmt.Fprintf(&b, " ... (%d more)", len(e.Stuck)-maxListed)
+				break
+			}
+			fmt.Fprintf(&b, " %s[%s#%d deps:%d]", s.Name, s.Kind, s.ID, s.DepsLeft)
+		}
+	}
+	if len(e.InFlight) > 0 {
+		b.WriteString("\n  in-flight transfers:")
+		for i, t := range e.InFlight {
+			if i == maxListed {
+				fmt.Fprintf(&b, " ... (%d more)", len(e.InFlight)-maxListed)
+				break
+			}
+			fmt.Fprintf(&b, " %s[%d/%d bursts, %d in flight]", t.Name, t.Completed, t.Total, t.InFlight)
+		}
+	}
+	if len(e.DRAMQueues) > 0 {
+		fmt.Fprintf(&b, "\n  DRAM queue occupancy: %v", e.DRAMQueues)
+	}
+	return b.String()
+}
+
+func kindName(k actKind) string {
+	switch k {
+	case actCompute:
+		return "compute"
+	case actTransfer:
+		return "transfer"
+	}
+	return "barrier"
+}
+
+func actLabel(a *activity) string {
+	if a.leaf != nil {
+		return a.leaf.Name
+	}
+	return fmt.Sprintf("barrier%d", a.id)
+}
+
+// diagnostic snapshots the engine into a WatchdogError.
+func (e *engine) diagnostic(reason string, resolvedCount int) *WatchdogError {
+	w := &WatchdogError{
+		Reason:   reason,
+		Cycle:    e.clock,
+		Resolved: resolvedCount,
+		Total:    len(e.acts),
+	}
+	for _, a := range e.acts {
+		if a.resolved {
+			continue
+		}
+		w.Stuck = append(w.Stuck, StuckActivity{
+			ID: a.id, Name: actLabel(a), Kind: kindName(a.kind), DepsLeft: a.nDepsLeft,
+		})
+	}
+	for _, rx := range e.running {
+		w.InFlight = append(w.InFlight, StuckTransfer{
+			Name:      actLabel(rx.act),
+			Completed: rx.completed,
+			Total:     len(rx.act.bursts),
+			InFlight:  rx.inFlight,
+		})
+	}
+	if e.dram != nil {
+		w.DRAMQueues = e.dram.QueueOccupancy()
+	}
+	return w
+}
