@@ -43,6 +43,8 @@ func main() {
 		err = cmdRun(args)
 	case "resilience":
 		err = cmdResilience(args)
+	case "recovery":
+		err = cmdRecovery(args)
 	case "table3":
 		err = cmdTable3()
 	case "table5":
@@ -76,11 +78,18 @@ func usage() {
 commands:
   info              architecture parameters, area and power envelope
   list              available benchmarks (Table 4)
-  run <benchmark> [-faults spec] [-budget cycles]
+  run <benchmark> [-faults spec] [-events list] [-budget cycles]
                     compile and simulate one benchmark vs the FPGA model,
-                    optionally under an injected fault plan
-  resilience <benchmark> [-seed N]
-                    makespan degradation vs fraction of disabled tiles
+                    optionally under an injected fault plan; -events adds
+                    timed mid-run faults (kill-pcu@N,kill-pmu@N,kill-sw@N,
+                    kill-chan@N) survived via checkpoint/repair/resume
+  resilience <benchmark> [-seed N] [-spike P] [-retry P]
+                    makespan degradation vs fraction of disabled tiles,
+                    optionally on a memory system with latency spikes
+                    and transient burst failures
+  recovery <benchmark> [-events list] [-seed N]
+                    mid-run fault recovery overhead: drain, checkpoint,
+                    repair/reconfigure, resume — vs the event-free run
   table3            parameter selection sweep (Section 3.7)
   table5            area breakdown (Table 5)
   table6            generalization overhead ladder (Table 6)
@@ -115,12 +124,13 @@ func cmdList() error {
 func cmdRun(args []string) error {
 	fs := flag.NewFlagSet("run", flag.ContinueOnError)
 	faultSpec := fs.String("faults", "", "fault plan, e.g. seed=1,pcu=4,pmu=2,sw=1,chan=1,retry=0.001")
+	events := fs.String("events", "", "timed mid-run faults, e.g. kill-pcu@5000,kill-chan@12000")
 	budget := fs.Int64("budget", 0, "abort via the watchdog after this many cycles (0 = unlimited)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if fs.NArg() != 1 {
-		return fmt.Errorf("usage: plasticine run <benchmark> [-faults spec] [-budget cycles]")
+		return fmt.Errorf("usage: plasticine run <benchmark> [-faults spec] [-events list] [-budget cycles]")
 	}
 	b, err := workloads.ByName(fs.Arg(0))
 	if err != nil {
@@ -128,11 +138,20 @@ func cmdRun(args []string) error {
 	}
 	sys := core.New()
 	var plan *fault.Plan
-	if *faultSpec != "" {
+	if *faultSpec != "" || *events != "" {
 		spec, err := fault.ParseSpec(*faultSpec)
 		if err != nil {
 			return err
 		}
+		evSpec, err := fault.ParseSpec(*events)
+		if err != nil {
+			return err
+		}
+		if evSpec.PCUs != 0 || evSpec.PMUs != 0 || evSpec.Switches != 0 || evSpec.Chans != 0 ||
+			evSpec.SpikeProb != 0 || evSpec.TransientProb != 0 {
+			return fmt.Errorf("usage: plasticine run: -events takes only kill-<kind>@<cycle> terms; put static faults in -faults")
+		}
+		spec.Events = append(spec.Events, evSpec.Events...)
 		plan, err = fault.NewPlan(spec, sys.Params)
 		if err != nil {
 			return err
@@ -155,27 +174,77 @@ func cmdRun(args []string) error {
 		fmt.Printf("  faults: %d burst retries (%d exhausted), %d latency spikes\n",
 			r.Retries, r.RetriesExhausted, r.LatencySpikes)
 	}
+	if r.Recovery != nil {
+		fmt.Printf("  recovery: %d event(s) survived, %d drain + %d reconfig stall cycles, %d bursts reissued\n",
+			len(r.Recovery.Events), r.Recovery.DrainCycles, r.Recovery.ReconfigCycles, r.Recovery.LostBursts)
+		for _, e := range r.Recovery.Events {
+			fmt.Printf("    %s at cycle %d: drain %d, checkpoint %d B, moved %d PCU / %d PMU, %d rerouted, reconfig %d\n",
+				e.Event, e.At, e.DrainCycles, e.CheckpointBytes, e.MovedPCUs, e.MovedPMUs, e.ReroutedEdges, e.ReconfigCycles)
+		}
+	}
 	return nil
 }
 
 func cmdResilience(args []string) error {
 	fs := flag.NewFlagSet("resilience", flag.ContinueOnError)
 	seed := fs.Int64("seed", 1, "fault-plan seed (same seed, same disabled tiles)")
+	spike := fs.Float64("spike", 0, "per-burst DRAM latency-spike probability in [0,1]")
+	retry := fs.Float64("retry", 0, "per-burst transient-failure probability in [0,1]")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if fs.NArg() != 1 {
-		return fmt.Errorf("usage: plasticine resilience <benchmark> [-seed N]")
+		return fmt.Errorf("usage: plasticine resilience <benchmark> [-seed N] [-spike P] [-retry P]")
+	}
+	if *spike < 0 || *spike > 1 {
+		return fmt.Errorf("usage: plasticine resilience: -spike %v is not a probability in [0,1]", *spike)
+	}
+	if *retry < 0 || *retry > 1 {
+		return fmt.Errorf("usage: plasticine resilience: -retry %v is not a probability in [0,1]", *retry)
 	}
 	b, err := workloads.ByName(fs.Arg(0))
 	if err != nil {
 		return err
 	}
-	rows, err := core.New().Resilience(b, *seed, core.DefaultResilienceFractions())
+	base := fault.Spec{Seed: *seed, SpikeProb: *spike, TransientProb: *retry}
+	rows, err := core.New().ResilienceSpec(b, base, core.DefaultResilienceFractions())
 	if err != nil {
 		return err
 	}
 	fmt.Print(core.FormatResilience(b.Name(), *seed, rows))
+	return nil
+}
+
+func cmdRecovery(args []string) error {
+	fs := flag.NewFlagSet("recovery", flag.ContinueOnError)
+	events := fs.String("events", "", "timed faults to survive (default kill-pcu@1000,kill-pmu@2500,kill-chan@4000)")
+	seed := fs.Int64("seed", 1, "victim-draw seed (same seed, same victims)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: plasticine recovery <benchmark> [-events list] [-seed N]")
+	}
+	b, err := workloads.ByName(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	spec := fault.Spec{Seed: *seed, Events: core.DefaultRecoveryEvents()}
+	if *events != "" {
+		parsed, err := fault.ParseSpec(*events)
+		if err != nil {
+			return err
+		}
+		if len(parsed.Events) == 0 {
+			return fmt.Errorf("usage: plasticine recovery: -events wants kill-<kind>@<cycle> terms, got %q", *events)
+		}
+		spec.Events = parsed.Events
+	}
+	rep, err := core.New().Recovery(b, spec)
+	if err != nil {
+		return err
+	}
+	fmt.Print(core.FormatRecovery(rep))
 	return nil
 }
 

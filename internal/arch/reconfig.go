@@ -1,0 +1,52 @@
+package arch
+
+// Reconfiguration cost model for mid-run recovery. Plasticine units are
+// configured through a word-wide static configuration network (Section 3.6);
+// after an incremental repair, only the moved units and the switches on
+// re-routed paths receive new configuration, and a moved PMU additionally
+// refills its scratchpad contents from DRAM.
+
+// configNetworkBits is the configuration-network width in bits per cycle.
+const configNetworkBits = 64
+
+// switchConfigBits is the configuration size of one switch site: per-output
+// source selects and static route tables for the scalar, vector and control
+// networks.
+const switchConfigBits = 512
+
+// refillBytesPerCycle is the scratchpad refill rate for a moved PMU: one
+// 64-byte DRAM burst per cycle through its assigned channel, best case.
+const refillBytesPerCycle = 64
+
+// PCUConfigBits estimates one PCU's configuration size: per-stage, per-lane
+// FU opcodes and register source selects, plus input/output port and
+// counter configuration.
+func (p Params) PCUConfigBits() int64 {
+	perFU := int64(16 + 4*p.PCU.Registers) // opcode + operand/dest selects
+	fus := int64(p.PCU.Stages) * int64(p.PCU.Lanes)
+	ports := int64(32) * int64(p.PCU.ScalarIns+p.PCU.ScalarOuts+p.PCU.VectorIns+p.PCU.VectorOuts)
+	counters := int64(6 * 64) // chainable counter bounds/strides
+	return perFU*fus + ports + counters
+}
+
+// PMUConfigBits estimates one PMU's configuration size: the scalar address
+// datapath, banking/buffering control, and port configuration.
+func (p Params) PMUConfigBits() int64 {
+	perStage := int64(16 + 4*p.PMU.Registers)
+	ports := int64(32) * int64(p.PMU.ScalarIns+p.PMU.ScalarOuts+p.PMU.VectorIns+p.PMU.VectorOuts)
+	banking := int64(64) // banking mode + buffer partition registers
+	return perStage*int64(p.PMU.Stages) + ports + banking
+}
+
+// ReconfigCycles returns the stall cycles charged for applying an
+// incremental repair: streaming the moved units' configurations over the
+// configuration network, reprogramming the switches of re-routed edges, and
+// refilling moved PMUs' scratchpads.
+func (p Params) ReconfigCycles(movedPCUs, movedPMUs, reroutedEdges int) int64 {
+	bits := int64(movedPCUs)*p.PCUConfigBits() +
+		int64(movedPMUs)*p.PMUConfigBits() +
+		int64(reroutedEdges)*switchConfigBits
+	cycles := (bits + configNetworkBits - 1) / configNetworkBits
+	cycles += int64(movedPMUs) * int64(p.ScratchpadBytes()) / refillBytesPerCycle
+	return cycles
+}

@@ -1,0 +1,44 @@
+package arch
+
+import "testing"
+
+func TestReconfigCyclesScales(t *testing.T) {
+	p := Default()
+	if c := p.ReconfigCycles(0, 0, 0); c != 0 {
+		t.Errorf("nothing moved, %d reconfig cycles", c)
+	}
+	onePCU := p.ReconfigCycles(1, 0, 0)
+	if onePCU <= 0 {
+		t.Fatalf("one moved PCU costs %d cycles", onePCU)
+	}
+	if two := p.ReconfigCycles(2, 0, 0); two < 2*onePCU-1 || two > 2*onePCU+1 {
+		t.Errorf("2 PCUs cost %d cycles, one costs %d; want ~linear", two, onePCU)
+	}
+	// A moved PMU dominates a moved PCU: beyond its configuration it refills
+	// its whole scratchpad at the burst rate.
+	onePMU := p.ReconfigCycles(0, 1, 0)
+	refill := int64(p.ScratchpadBytes()) / 64
+	if onePMU < refill {
+		t.Errorf("one moved PMU costs %d cycles, scratchpad refill alone is %d", onePMU, refill)
+	}
+	if onePMU <= onePCU {
+		t.Errorf("moved PMU (%d cycles) should out-cost moved PCU (%d cycles)", onePMU, onePCU)
+	}
+	// Re-routed edges are cheap relative to unit moves but not free.
+	if e := p.ReconfigCycles(0, 0, 3); e <= 0 || e >= onePCU {
+		t.Errorf("3 re-routed edges cost %d cycles, want in (0,%d)", e, onePCU)
+	}
+}
+
+func TestConfigBitsTrackParams(t *testing.T) {
+	small := Default()
+	big := Default()
+	big.PCU.Stages *= 2
+	big.PMU.Stages *= 2
+	if big.PCUConfigBits() <= small.PCUConfigBits() {
+		t.Error("doubling PCU stages did not grow its configuration size")
+	}
+	if big.PMUConfigBits() <= small.PMUConfigBits() {
+		t.Error("doubling PMU stages did not grow its configuration size")
+	}
+}

@@ -81,6 +81,10 @@ type BenchResult struct {
 	Retries          int64
 	RetriesExhausted int64
 	LatencySpikes    int64
+
+	// Recovery is the mid-run fault-survival breakdown (nil unless the
+	// fault plan scheduled timed events that fired).
+	Recovery *sim.RecoveryStats `json:",omitempty"`
 }
 
 // RunBenchmark executes one Table 4 benchmark end to end, checks its
@@ -91,7 +95,9 @@ func (s *System) RunBenchmark(b workloads.Benchmark) (*BenchResult, error) {
 
 // RunBenchmarkOpts is RunBenchmark under a fault plan and simulator
 // options. Faults degrade timing, never results: the functional check must
-// still pass, or the run fails.
+// still pass, or the run fails. A plan with timed mid-run events goes
+// through the recovery controller (checkpoint, repair, resume); without
+// events the flow is bit-identical to the plain simulation pipeline.
 func (s *System) RunBenchmarkOpts(b workloads.Benchmark, plan *fault.Plan, opts sim.Options) (*BenchResult, error) {
 	p, err := b.Build()
 	if err != nil {
@@ -101,7 +107,7 @@ func (s *System) RunBenchmarkOpts(b workloads.Benchmark, plan *fault.Plan, opts 
 	if err != nil {
 		return nil, fmt.Errorf("core: %s: %w", b.Name(), err)
 	}
-	res, st, err := sim.RunOpts(m, opts)
+	res, st, err := sim.RunWithRecovery(m, opts)
 	if err != nil {
 		return nil, fmt.Errorf("core: %s: %w", b.Name(), err)
 	}
@@ -139,6 +145,7 @@ func (s *System) RunBenchmarkOpts(b workloads.Benchmark, plan *fault.Plan, opts 
 		Retries:          res.DRAM.Retries,
 		RetriesExhausted: res.DRAM.RetriesExhausted,
 		LatencySpikes:    res.DRAM.LatencySpikes,
+		Recovery:         res.Recovery,
 	}
 	if res.Seconds > 0 {
 		r.Speedup = fpgaTime / res.Seconds

@@ -32,23 +32,36 @@ type ResilienceRow struct {
 // baseline; infeasible points (the program no longer fits the healthy
 // fabric) are reported, not treated as errors.
 func (s *System) Resilience(b workloads.Benchmark, seed int64, fracs []float64) ([]ResilienceRow, error) {
+	return s.ResilienceSpec(b, fault.Spec{Seed: seed}, fracs)
+}
+
+// ResilienceSpec is Resilience with the full memory-fault surface of the
+// base spec carried into every sweep point: latency-spike and transient-
+// retry probabilities (and their tuning fields) apply at each fraction,
+// including the fraction-0 baseline, so the sweep isolates the cost of the
+// disabled tiles on an already-noisy memory system. The base spec's own
+// tile counts and timed events must be zero — the sweep owns those.
+func (s *System) ResilienceSpec(b workloads.Benchmark, base fault.Spec, fracs []float64) ([]ResilienceRow, error) {
+	if base.PCUs != 0 || base.PMUs != 0 || base.Switches != 0 || len(base.Events) != 0 {
+		return nil, fmt.Errorf("core: resilience: base spec must not disable tiles or schedule events")
+	}
 	if len(fracs) == 0 || fracs[0] != 0 {
 		fracs = append([]float64{0}, fracs...)
 	}
 	var out []ResilienceRow
-	var base int64
+	var baseCycles int64
 	for _, frac := range fracs {
 		row := ResilienceRow{
 			Fraction: frac,
 			PCUsDown: int(frac * float64(s.Params.NumPCUs())),
 			PMUsDown: int(frac * float64(s.Params.NumPMUs())),
 		}
+		spec := base
+		spec.PCUs, spec.PMUs = row.PCUsDown, row.PMUsDown
 		var plan *fault.Plan
-		if row.PCUsDown > 0 || row.PMUsDown > 0 {
+		if !spec.Zero() {
 			var err error
-			plan, err = fault.NewPlan(fault.Spec{
-				Seed: seed, PCUs: row.PCUsDown, PMUs: row.PMUsDown,
-			}, s.Params)
+			plan, err = fault.NewPlan(spec, s.Params)
 			if err != nil {
 				return nil, fmt.Errorf("core: resilience at %.0f%%: %w", 100*frac, err)
 			}
@@ -58,11 +71,11 @@ func (s *System) Resilience(b workloads.Benchmark, seed int64, fracs []float64) 
 		case err == nil:
 			row.Feasible = true
 			row.Cycles = r.Cycles
-			if base == 0 {
-				base = r.Cycles
+			if baseCycles == 0 {
+				baseCycles = r.Cycles
 			}
-			if base > 0 {
-				row.Slowdown = float64(r.Cycles) / float64(base)
+			if baseCycles > 0 {
+				row.Slowdown = float64(r.Cycles) / float64(baseCycles)
 			}
 		case errors.Is(err, compiler.ErrInsufficient) || errors.Is(err, compiler.ErrNoRoute):
 			row.Reason = err.Error()

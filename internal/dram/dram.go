@@ -7,10 +7,7 @@
 // evaluation.
 package dram
 
-import (
-	"fmt"
-	"math/rand"
-)
+import "fmt"
 
 // Config describes the memory system. All timings are in fabric clock
 // cycles (the simulator runs the fabric at 1 GHz, so 1 cycle = 1 ns).
@@ -58,6 +55,9 @@ type Request struct {
 	// Done is invoked when the burst completes (data returned for reads,
 	// write committed for writes).
 	Done func(now int64)
+	// Tag identifies the request's owner to checkpoint/restore: Done
+	// closures cannot be serialized, so Restore rebuilds them from Tags.
+	Tag int64
 
 	issued   int64 // arrival cycle, for FR-FCFS aging
 	attempts int   // transient-failure retries so far
@@ -115,7 +115,7 @@ type DRAM struct {
 
 	// Fault injection (nil when the memory system is healthy).
 	faults  *Faults
-	rng     *rand.Rand
+	rng     prng
 	healthy []int        // channels accepting traffic under the fault plan
 	retryq  []completion // bursts awaiting retry after transient failures
 }

@@ -1,9 +1,27 @@
 package dram
 
 import (
+	"errors"
 	"fmt"
-	"math/rand"
 )
+
+// ErrRetriesExhausted is wrapped by ExhaustedError when a burst's transient
+// failures exceed the retry bound.
+var ErrRetriesExhausted = errors.New("dram: burst retries exhausted")
+
+// ExhaustedError reports one burst whose transient failures hit MaxRetries.
+// The burst still completes (higher-level ECC recovery), but the condition is
+// surfaced structurally so callers can count or escalate it.
+type ExhaustedError struct {
+	Addr     uint64
+	Attempts int // retries issued before giving up (== MaxRetries)
+}
+
+func (e *ExhaustedError) Error() string {
+	return fmt.Sprintf("%v: addr 0x%x after %d retries", ErrRetriesExhausted, e.Addr, e.Attempts)
+}
+
+func (e *ExhaustedError) Unwrap() error { return ErrRetriesExhausted }
 
 // Faults is the injectable memory-system fault configuration. All draws come
 // from a private PRNG seeded with Seed, and the model is single-threaded, so
@@ -33,6 +51,10 @@ type Faults struct {
 	// down, Submit rejects all requests (the simulator's watchdog turns
 	// that into a diagnostic abort instead of a hang).
 	Down []bool
+
+	// OnExhausted, when set, is invoked once per burst that abandons its
+	// retries (exactly when Stats.RetriesExhausted increments).
+	OnExhausted func(*ExhaustedError)
 }
 
 // InjectFaults arms the fault model. Must be called before the first Submit.
@@ -45,7 +67,7 @@ func (d *DRAM) InjectFaults(f *Faults) error {
 		return fmt.Errorf("dram: fault plan marks %d channels, memory system has %d", len(f.Down), d.cfg.Channels)
 	}
 	d.faults = f
-	d.rng = rand.New(rand.NewSource(f.Seed))
+	d.rng = newPRNG(f.Seed)
 	d.healthy = d.healthy[:0]
 	for c := 0; c < d.cfg.Channels; c++ {
 		if c >= len(f.Down) || !f.Down[c] {
@@ -96,6 +118,9 @@ func (d *DRAM) maybeRetry(r *Request, now int64) bool {
 	}
 	if r.attempts >= f.MaxRetries {
 		d.stats.RetriesExhausted++
+		if f.OnExhausted != nil {
+			f.OnExhausted(&ExhaustedError{Addr: r.Addr, Attempts: r.attempts})
+		}
 		return false
 	}
 	r.attempts++
@@ -138,6 +163,69 @@ func (d *DRAM) resubmit(r *Request) bool {
 		d.stats.MaxQueueOcc = occ
 	}
 	return true
+}
+
+// KillChannel takes channel c offline mid-run. Requests already queued,
+// scheduled, or awaiting retry on c are dropped and reported through lost
+// (their data is gone; the owner must reissue them); future traffic remaps
+// onto the surviving channels. Returns the number of dropped requests.
+func (d *DRAM) KillChannel(c int, lost func(*Request)) (int, error) {
+	if c < 0 || c >= d.cfg.Channels {
+		return 0, fmt.Errorf("dram: kill-chan %d out of range (memory system has %d channels)", c, d.cfg.Channels)
+	}
+	if d.faults == nil {
+		d.faults = &Faults{}
+	}
+	f := d.faults
+	if len(f.Down) < d.cfg.Channels {
+		down := make([]bool, d.cfg.Channels)
+		copy(down, f.Down)
+		f.Down = down
+	}
+	if f.Down[c] {
+		return 0, fmt.Errorf("dram: channel %d is already down", c)
+	}
+	// Record each in-flight request's owning channel BEFORE marking c down:
+	// remapChannel answers differently afterwards, and a request in c's
+	// queue belongs to c regardless of which channel its address hashes to.
+	dropped := 0
+	drop := func(r *Request) {
+		dropped++
+		if lost != nil {
+			lost(r)
+		}
+	}
+	ch := &d.channels[c]
+	for _, r := range ch.queue {
+		drop(r)
+	}
+	ch.queue = nil
+	keptP := d.pending[:0]
+	for _, p := range d.pending {
+		if d.channelOf(p.req.Addr) == c {
+			drop(p.req)
+		} else {
+			keptP = append(keptP, p)
+		}
+	}
+	d.pending = keptP
+	keptR := d.retryq[:0]
+	for _, p := range d.retryq {
+		if d.channelOf(p.req.Addr) == c {
+			drop(p.req)
+		} else {
+			keptR = append(keptR, p)
+		}
+	}
+	d.retryq = keptR
+	f.Down[c] = true
+	d.healthy = d.healthy[:0]
+	for i := 0; i < d.cfg.Channels; i++ {
+		if !f.Down[i] {
+			d.healthy = append(d.healthy, i)
+		}
+	}
+	return dropped, nil
 }
 
 // QueueOccupancy returns the current per-channel request-queue depths

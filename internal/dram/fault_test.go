@@ -1,6 +1,8 @@
 package dram
 
 import (
+	"errors"
+	"strings"
 	"testing"
 )
 
@@ -117,6 +119,54 @@ func TestLatencySpikes(t *testing.T) {
 	}
 	if d.Stats().LatencySpikes != 1 {
 		t.Errorf("spikes = %d, want 1", d.Stats().LatencySpikes)
+	}
+}
+
+func TestRetriesExhaustedStructuredError(t *testing.T) {
+	// With failure probability 1 every burst burns MaxRetries retries and is
+	// then abandoned: OnExhausted fires exactly once per burst, with the
+	// burst's address and final attempt count, and the error unwraps to
+	// ErrRetriesExhausted.
+	d := New(DDR3_1600x4())
+	var got []*ExhaustedError
+	if err := d.InjectFaults(&Faults{
+		Seed: 5, TransientProb: 1, MaxRetries: 2, RetryBackoff: 8,
+		OnExhausted: func(e *ExhaustedError) { got = append(got, e) },
+	}); err != nil {
+		t.Fatal(err)
+	}
+	d.Tick(0)
+	const n = 4
+	completions := 0
+	for i := 0; i < n; i++ {
+		d.Submit(&Request{Addr: uint64(i * 64), Done: func(int64) { completions++ }})
+	}
+	drain(d, 0)
+	if completions != n {
+		t.Fatalf("only %d/%d bursts completed", completions, n)
+	}
+	st := d.Stats()
+	if st.RetriesExhausted != int64(n) {
+		t.Errorf("RetriesExhausted = %d, want %d (one per abandoned burst)", st.RetriesExhausted, n)
+	}
+	if len(got) != n {
+		t.Fatalf("OnExhausted fired %d times, want %d", len(got), n)
+	}
+	seen := map[uint64]bool{}
+	for _, e := range got {
+		if !errors.Is(e, ErrRetriesExhausted) {
+			t.Errorf("error does not unwrap to ErrRetriesExhausted: %v", e)
+		}
+		if e.Attempts != 2 {
+			t.Errorf("burst 0x%x abandoned after %d attempts, want 2", e.Addr, e.Attempts)
+		}
+		if seen[e.Addr] {
+			t.Errorf("burst 0x%x reported exhausted more than once", e.Addr)
+		}
+		seen[e.Addr] = true
+	}
+	if s := got[0].Error(); !strings.Contains(s, "retries exhausted") {
+		t.Errorf("error text %q missing cause", s)
 	}
 }
 

@@ -1,0 +1,162 @@
+package dram
+
+import "fmt"
+
+// This file supports mid-run checkpointing: the memory system's entire
+// dynamic state — bank row buffers, bus reservations, refresh phase, queued
+// and in-flight requests, the retry queue, counters and the fault PRNG — can
+// be captured into a MemState and later restored into a fresh DRAM, so a
+// resumed simulation is cycle-identical to one that never stopped.
+
+// prng is a serializable splitmix64 generator. The fault model uses it
+// instead of math/rand so its exact position in the draw sequence survives a
+// checkpoint: state is one word, restored verbatim.
+type prng struct{ state uint64 }
+
+func newPRNG(seed int64) prng { return prng{state: uint64(seed)} }
+
+// Float64 returns the next draw in [0, 1).
+func (p *prng) Float64() float64 {
+	p.state += 0x9E3779B97F4A7C15
+	z := p.state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	z ^= z >> 31
+	return float64(z>>11) / (1 << 53)
+}
+
+// ReqState is the serializable form of one queued or in-flight request. Tag
+// carries the caller's identity for the request (the simulator stores the
+// owning activity id) so completion callbacks can be re-attached on restore.
+type ReqState struct {
+	Addr     uint64
+	Write    bool
+	Issued   int64
+	Attempts int32
+	Tag      int64
+	At       int64 // completion/retry cycle; unused for queued requests
+}
+
+// BankState is one bank's row-buffer and command-timing state.
+type BankState struct {
+	OpenRow int64
+	ReadyAt int64
+}
+
+// MemState is a complete snapshot of the memory system's dynamic state.
+type MemState struct {
+	Now         int64
+	NextRefresh int64
+	RNG         uint64
+	Stats       Stats
+
+	Banks   []BankState // Channels * BanksPerChan, channel-major
+	BusFree []int64     // per channel
+	Acts    []int64     // Channels * 4 recent activate times, channel-major
+
+	Queued  [][]ReqState // per channel, queue order
+	Pending []ReqState   // scheduled completions, in order; At = finish cycle
+	Retry   []ReqState   // retry queue, in order; At = resubmit cycle
+}
+
+func reqState(r *Request, at int64) ReqState {
+	return ReqState{Addr: r.Addr, Write: r.Write, Issued: r.issued,
+		Attempts: int32(r.attempts), Tag: r.Tag, At: at}
+}
+
+// Snapshot captures the memory system's dynamic state. The snapshot is
+// deterministic: two identical systems produce identical MemStates.
+func (d *DRAM) Snapshot() *MemState {
+	st := &MemState{
+		Now:         d.now,
+		NextRefresh: d.nextRefresh,
+		RNG:         d.rng.state,
+		Stats:       d.stats,
+		Queued:      make([][]ReqState, len(d.channels)),
+	}
+	for ci := range d.channels {
+		ch := &d.channels[ci]
+		for _, bk := range ch.banks {
+			st.Banks = append(st.Banks, BankState{OpenRow: bk.openRow, ReadyAt: bk.readyAt})
+		}
+		st.BusFree = append(st.BusFree, ch.busFree)
+		st.Acts = append(st.Acts, ch.acts[:]...)
+		for _, r := range ch.queue {
+			st.Queued[ci] = append(st.Queued[ci], reqState(r, 0))
+		}
+	}
+	for _, c := range d.pending {
+		st.Pending = append(st.Pending, reqState(c.req, c.at))
+	}
+	for _, c := range d.retryq {
+		st.Retry = append(st.Retry, reqState(c.req, c.at))
+	}
+	return st
+}
+
+// Restore loads a snapshot into a fresh memory system of the same
+// configuration (and, if faults were armed when the snapshot was taken, with
+// InjectFaults already applied). done rebuilds the completion callback for a
+// request from its Tag; it may be nil when the snapshot holds no requests.
+func (d *DRAM) Restore(st *MemState, done func(tag int64) func(now int64)) error {
+	if want := d.cfg.Channels * d.cfg.BanksPerChan; len(st.Banks) != want {
+		return fmt.Errorf("dram: snapshot has %d bank states, config wants %d", len(st.Banks), want)
+	}
+	if len(st.BusFree) != d.cfg.Channels || len(st.Acts) != 4*d.cfg.Channels {
+		return fmt.Errorf("dram: snapshot channel state (%d bus, %d acts) does not fit %d channels",
+			len(st.BusFree), len(st.Acts), d.cfg.Channels)
+	}
+	if len(st.Queued) != d.cfg.Channels {
+		return fmt.Errorf("dram: snapshot has %d queues, config wants %d", len(st.Queued), d.cfg.Channels)
+	}
+	revive := func(rs ReqState) (*Request, error) {
+		r := &Request{Addr: rs.Addr, Write: rs.Write, Tag: rs.Tag,
+			issued: rs.Issued, attempts: int(rs.Attempts)}
+		if done == nil {
+			return nil, fmt.Errorf("dram: snapshot holds in-flight requests but no callback factory was given")
+		}
+		r.Done = done(rs.Tag)
+		if r.Done == nil {
+			return nil, fmt.Errorf("dram: no completion callback for request tag %d", rs.Tag)
+		}
+		return r, nil
+	}
+	d.now = st.Now
+	d.nextRefresh = st.NextRefresh
+	d.rng.state = st.RNG
+	d.stats = st.Stats
+	for ci := range d.channels {
+		ch := &d.channels[ci]
+		for b := range ch.banks {
+			bs := st.Banks[ci*d.cfg.BanksPerChan+b]
+			ch.banks[b] = bank{openRow: bs.OpenRow, readyAt: bs.ReadyAt}
+		}
+		ch.busFree = st.BusFree[ci]
+		copy(ch.acts[:], st.Acts[ci*4:ci*4+4])
+		ch.queue = nil
+		for _, rs := range st.Queued[ci] {
+			r, err := revive(rs)
+			if err != nil {
+				return err
+			}
+			ch.queue = append(ch.queue, r)
+		}
+	}
+	d.pending = nil
+	for _, rs := range st.Pending {
+		r, err := revive(rs)
+		if err != nil {
+			return err
+		}
+		d.pending = append(d.pending, completion{at: rs.At, req: r})
+	}
+	d.retryq = nil
+	for _, rs := range st.Retry {
+		r, err := revive(rs)
+		if err != nil {
+			return err
+		}
+		d.retryq = append(d.retryq, completion{at: rs.At, req: r})
+	}
+	return nil
+}

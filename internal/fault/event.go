@@ -1,0 +1,217 @@
+package fault
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// EventKind classifies a timed mid-run fault.
+type EventKind int
+
+const (
+	KillPCU EventKind = iota
+	KillPMU
+	KillSwitch
+	KillChan
+)
+
+var kindNames = map[EventKind]string{
+	KillPCU: "kill-pcu", KillPMU: "kill-pmu",
+	KillSwitch: "kill-sw", KillChan: "kill-chan",
+}
+
+func (k EventKind) String() string {
+	if n, ok := kindNames[k]; ok {
+		return n
+	}
+	return fmt.Sprintf("EventKind(%d)", int(k))
+}
+
+// EventSpec is one requested timed fault: kill one resource of Kind at
+// Cycle. The concrete victim is drawn deterministically when the plan is
+// built, so a spec stays chip-independent and seed-reproducible.
+type EventSpec struct {
+	Kind  EventKind
+	Cycle int64
+}
+
+// Event is a scheduled timed fault with its victim resolved. For fabric
+// kinds Victim is the tile/switch coordinate; for KillChan, Chan is the
+// DRAM channel.
+type Event struct {
+	Kind   EventKind
+	Cycle  int64
+	Victim Coord // KillPCU / KillPMU / KillSwitch
+	Chan   int   // KillChan
+}
+
+func (e Event) String() string {
+	if e.Kind == KillChan {
+		return fmt.Sprintf("%v@%d ch%d", e.Kind, e.Cycle, e.Chan)
+	}
+	return fmt.Sprintf("%v@%d (%d,%d)", e.Kind, e.Cycle, e.Victim.X, e.Victim.Y)
+}
+
+// parseEventTerm parses one "kill-<kind>@<cycle>" spec term.
+func parseEventTerm(field string) (EventSpec, error) {
+	name, at, ok := strings.Cut(field, "@")
+	if !ok {
+		return EventSpec{}, fmt.Errorf("%w: %q wants kill-<kind>@<cycle>", ErrBadSpec, field)
+	}
+	var kind EventKind
+	found := false
+	for k, n := range kindNames {
+		if n == name {
+			kind, found = k, true
+			break
+		}
+	}
+	if !found {
+		return EventSpec{}, fmt.Errorf("%w: unknown event %q (want kill-pcu, kill-pmu, kill-sw or kill-chan)", ErrBadSpec, name)
+	}
+	cyc, err := strconv.ParseInt(at, 10, 64)
+	if err != nil || cyc < 0 {
+		return EventSpec{}, fmt.Errorf("%w: %s@%q wants a non-negative cycle", ErrBadSpec, name, at)
+	}
+	return EventSpec{Kind: kind, Cycle: cyc}, nil
+}
+
+// scheduleEvents resolves each requested event to a concrete victim, drawing
+// with the plan's PRNG from the resources still healthy at that point (not
+// statically disabled, not consumed by an earlier event). Events are
+// processed in firing order so the schedule is deterministic for a fixed
+// (spec, chip) regardless of the order terms were written in.
+func (p *Plan) scheduleEvents(specs []EventSpec, pcuSlots, pmuSlots, swSlots []Coord, chans int, rng intner) error {
+	if len(specs) == 0 {
+		return nil
+	}
+	ordered := append([]EventSpec(nil), specs...)
+	sort.SliceStable(ordered, func(i, j int) bool { return ordered[i].Cycle < ordered[j].Cycle })
+	taken := map[Coord]bool{}
+	drawTile := func(slots []Coord, dead map[Coord]bool) (Coord, bool) {
+		var alive []Coord
+		for _, c := range slots {
+			if !dead[c] && !taken[c] {
+				alive = append(alive, c)
+			}
+		}
+		if len(alive) == 0 {
+			return Coord{}, false
+		}
+		c := alive[rng.Intn(len(alive))]
+		taken[c] = true
+		return c, true
+	}
+	chanDead := append([]bool(nil), p.downChan...)
+	for _, es := range ordered {
+		ev := Event{Kind: es.Kind, Cycle: es.Cycle}
+		switch es.Kind {
+		case KillPCU, KillPMU, KillSwitch:
+			slots, dead := pcuSlots, p.disabledPCU
+			if es.Kind == KillPMU {
+				slots, dead = pmuSlots, p.disabledPMU
+			} else if es.Kind == KillSwitch {
+				slots, dead = swSlots, p.disabledSw
+			}
+			c, ok := drawTile(slots, dead)
+			if !ok {
+				return fmt.Errorf("%w: %v@%d has no healthy victim left", ErrBadSpec, es.Kind, es.Cycle)
+			}
+			ev.Victim = c
+		case KillChan:
+			var alive []int
+			for c := 0; c < chans; c++ {
+				if c >= len(chanDead) || !chanDead[c] {
+					alive = append(alive, c)
+				}
+			}
+			if len(alive) == 0 {
+				return fmt.Errorf("%w: kill-chan@%d has no healthy channel left", ErrBadSpec, es.Cycle)
+			}
+			ev.Chan = alive[rng.Intn(len(alive))]
+			for len(chanDead) <= ev.Chan {
+				chanDead = append(chanDead, false)
+			}
+			chanDead[ev.Chan] = true
+		default:
+			return fmt.Errorf("%w: unknown event kind %d", ErrBadSpec, es.Kind)
+		}
+		p.events = append(p.events, ev)
+	}
+	return nil
+}
+
+// intner is the PRNG slice scheduleEvents needs (satisfied by *rand.Rand).
+type intner interface{ Intn(int) int }
+
+// Events returns the timed fault schedule in firing order. Nil-safe.
+func (p *Plan) Events() []Event {
+	if p == nil {
+		return nil
+	}
+	return append([]Event(nil), p.events...)
+}
+
+// AddEvent schedules an explicit timed fault — the manual-plan counterpart
+// to the seeded draw, for tests and measured-trace replay. Events must be
+// added in firing order.
+func (p *Plan) AddEvent(ev Event) error {
+	if n := len(p.events); n > 0 && p.events[n-1].Cycle > ev.Cycle {
+		return fmt.Errorf("%w: event %v scheduled before already-queued %v", ErrBadSpec, ev, p.events[n-1])
+	}
+	p.events = append(p.events, ev)
+	return nil
+}
+
+// Extend applies a fired event to the plan: the victim becomes statically
+// dead, so subsequent compiles (incremental repair or full recompile) and
+// the DRAM fault view account for it. The recovery controller calls this
+// when the event's cycle is reached.
+func (p *Plan) Extend(ev Event) error {
+	switch ev.Kind {
+	case KillPCU:
+		if p.disabledPCU == nil {
+			p.disabledPCU = map[Coord]bool{}
+		}
+		if p.disabledPCU[ev.Victim] {
+			return fmt.Errorf("%w: PCU (%d,%d) is already dead", ErrBadSpec, ev.Victim.X, ev.Victim.Y)
+		}
+		p.disabledPCU[ev.Victim] = true
+		p.Spec.PCUs = len(p.disabledPCU)
+	case KillPMU:
+		if p.disabledPMU == nil {
+			p.disabledPMU = map[Coord]bool{}
+		}
+		if p.disabledPMU[ev.Victim] {
+			return fmt.Errorf("%w: PMU (%d,%d) is already dead", ErrBadSpec, ev.Victim.X, ev.Victim.Y)
+		}
+		p.disabledPMU[ev.Victim] = true
+		p.Spec.PMUs = len(p.disabledPMU)
+	case KillSwitch:
+		if p.disabledSw == nil {
+			p.disabledSw = map[Coord]bool{}
+		}
+		if p.disabledSw[ev.Victim] {
+			return fmt.Errorf("%w: switch (%d,%d) is already dead", ErrBadSpec, ev.Victim.X, ev.Victim.Y)
+		}
+		p.disabledSw[ev.Victim] = true
+		p.Spec.Switches = len(p.disabledSw)
+	case KillChan:
+		if ev.Chan < 0 {
+			return fmt.Errorf("%w: kill-chan victim %d out of range", ErrBadSpec, ev.Chan)
+		}
+		for len(p.downChan) <= ev.Chan {
+			p.downChan = append(p.downChan, false)
+		}
+		if p.downChan[ev.Chan] {
+			return fmt.Errorf("%w: channel %d is already down", ErrBadSpec, ev.Chan)
+		}
+		p.downChan[ev.Chan] = true
+		p.Spec.Chans++
+	default:
+		return fmt.Errorf("%w: unknown event kind %d", ErrBadSpec, ev.Kind)
+	}
+	return nil
+}

@@ -1,0 +1,149 @@
+package fault
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"plasticine/internal/arch"
+)
+
+func TestParseSpecEvents(t *testing.T) {
+	spec, err := ParseSpec("seed=3, kill-pcu@5000, kill-chan@12000, kill-pcu@9000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []EventSpec{
+		{Kind: KillPCU, Cycle: 5000},
+		{Kind: KillChan, Cycle: 12000},
+		{Kind: KillPCU, Cycle: 9000},
+	}
+	if !reflect.DeepEqual(spec.Events, want) {
+		t.Errorf("parsed events %+v, want %+v", spec.Events, want)
+	}
+	if spec.Zero() {
+		t.Error("spec with events reports Zero")
+	}
+	for _, bad := range []string{
+		"kill-pcu", "kill-pcu@", "kill-pcu@-5", "kill-pcu@x", "kill-frob@100",
+	} {
+		if _, err := ParseSpec(bad); !errors.Is(err, ErrBadSpec) {
+			t.Errorf("ParseSpec(%q): want ErrBadSpec, got %v", bad, err)
+		}
+	}
+}
+
+func TestEventScheduleDeterministic(t *testing.T) {
+	params := arch.Default()
+	spec := Spec{Seed: 21, PCUs: 3,
+		Events: []EventSpec{
+			{Kind: KillChan, Cycle: 8000},
+			{Kind: KillPCU, Cycle: 2000},
+			{Kind: KillPMU, Cycle: 4000},
+			{Kind: KillSwitch, Cycle: 4000},
+		}}
+	a, err := NewPlan(spec, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewPlan(spec, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Events(), b.Events()) {
+		t.Errorf("same seed produced different schedules:\n%v\n%v", a.Events(), b.Events())
+	}
+	evs := a.Events()
+	if len(evs) != 4 {
+		t.Fatalf("scheduled %d events, want 4", len(evs))
+	}
+	// Firing order, regardless of spec order.
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Cycle < evs[i-1].Cycle {
+			t.Errorf("events out of firing order: %v", evs)
+		}
+	}
+	// Victims are healthy at schedule time: not statically disabled.
+	for _, ev := range evs {
+		switch ev.Kind {
+		case KillPCU:
+			if a.PCUDisabled(ev.Victim.X, ev.Victim.Y) {
+				t.Errorf("%v targets an already-dead PCU", ev)
+			}
+			if (ev.Victim.X+ev.Victim.Y)%2 != 0 {
+				t.Errorf("%v targets a PMU slot", ev)
+			}
+		case KillPMU:
+			if a.PMUDisabled(ev.Victim.X, ev.Victim.Y) {
+				t.Errorf("%v targets an already-dead PMU", ev)
+			}
+		case KillSwitch:
+			if a.SwitchDisabled(ev.Victim.X, ev.Victim.Y) {
+				t.Errorf("%v targets an already-dead switch", ev)
+			}
+		}
+	}
+}
+
+func TestEventOversubscriptionRejected(t *testing.T) {
+	params := arch.Default()
+	events := make([]EventSpec, params.Chip.DDRChannels+1)
+	for i := range events {
+		events[i] = EventSpec{Kind: KillChan, Cycle: int64(i)}
+	}
+	if _, err := NewPlan(Spec{Events: events}, params); !errors.Is(err, ErrBadSpec) {
+		t.Errorf("killing more channels than exist: want ErrBadSpec, got %v", err)
+	}
+	if _, err := NewPlan(Spec{PCUs: params.NumPCUs(),
+		Events: []EventSpec{{Kind: KillPCU, Cycle: 1}}}, params); !errors.Is(err, ErrBadSpec) {
+		t.Error("killing a PCU with every PCU statically dead must fail")
+	}
+}
+
+func TestExtendAppliesEvent(t *testing.T) {
+	plan := ManualPlan(nil, nil, nil, nil)
+	if err := plan.Extend(Event{Kind: KillPCU, Victim: Coord{2, 2}}); err != nil {
+		t.Fatal(err)
+	}
+	if !plan.PCUDisabled(2, 2) || plan.Spec.PCUs != 1 {
+		t.Errorf("Extend did not disable the PCU: %s", plan)
+	}
+	if err := plan.Extend(Event{Kind: KillPCU, Victim: Coord{2, 2}}); err == nil {
+		t.Error("re-killing a dead PCU must fail")
+	}
+	if err := plan.Extend(Event{Kind: KillChan, Chan: 1}); err != nil {
+		t.Fatal(err)
+	}
+	df := plan.DRAMFaults()
+	if df == nil || len(df.Down) < 2 || !df.Down[1] {
+		t.Errorf("Extend(kill-chan) not visible in DRAM faults: %+v", df)
+	}
+	if err := plan.Extend(Event{Kind: KillChan, Chan: 1}); err == nil {
+		t.Error("re-killing a downed channel must fail")
+	}
+	if err := plan.Extend(Event{Kind: KillSwitch, Victim: Coord{5, 5}}); err != nil {
+		t.Fatal(err)
+	}
+	if !plan.SwitchDisabled(5, 5) || !plan.HasSwitchFaults() {
+		t.Error("Extend did not disable the switch")
+	}
+	if err := plan.Extend(Event{Kind: KillPMU, Victim: Coord{1, 2}}); err != nil {
+		t.Fatal(err)
+	}
+	if !plan.PMUDisabled(1, 2) {
+		t.Error("Extend did not disable the PMU")
+	}
+}
+
+func TestAddEventOrdering(t *testing.T) {
+	plan := ManualPlan(nil, nil, nil, nil)
+	if err := plan.AddEvent(Event{Kind: KillPCU, Cycle: 100, Victim: Coord{0, 0}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := plan.AddEvent(Event{Kind: KillPCU, Cycle: 50, Victim: Coord{2, 0}}); err == nil {
+		t.Error("out-of-order AddEvent must fail")
+	}
+	if n := len(plan.Events()); n != 1 {
+		t.Errorf("plan holds %d events, want 1", n)
+	}
+}

@@ -41,6 +41,10 @@ type Spec struct {
 	TransientProb float64 // per-burst probability of a transient failure needing retry
 	MaxRetries    int     // bounded retries per burst (default 3)
 	RetryBackoff  int     // base backoff in cycles, doubled per attempt (default 16)
+
+	// Events are timed mid-run faults ("kill-pcu@5000"); victims are drawn
+	// deterministically at plan time from the resources still healthy.
+	Events []EventSpec
 }
 
 // withDefaults fills derived defaults for enabled fault classes.
@@ -62,12 +66,14 @@ func (s Spec) withDefaults() Spec {
 // Zero reports whether the spec injects no faults at all.
 func (s Spec) Zero() bool {
 	return s.PCUs == 0 && s.PMUs == 0 && s.Switches == 0 &&
-		s.Chans == 0 && s.SpikeProb == 0 && s.TransientProb == 0
+		s.Chans == 0 && s.SpikeProb == 0 && s.TransientProb == 0 &&
+		len(s.Events) == 0
 }
 
 // ParseSpec parses the CLI fault syntax: comma-separated key=value pairs.
 // Keys: seed, pcu, pmu, sw, chan, spike, spikecycles, retry, maxretries,
-// backoff. An empty string yields the zero spec.
+// backoff. Timed-event terms use "kill-<kind>@<cycle>" (kinds: pcu, pmu,
+// sw, chan) and may repeat. An empty string yields the zero spec.
 func ParseSpec(s string) (Spec, error) {
 	var spec Spec
 	if strings.TrimSpace(s) == "" {
@@ -76,6 +82,14 @@ func ParseSpec(s string) (Spec, error) {
 	for _, field := range strings.Split(s, ",") {
 		field = strings.TrimSpace(field)
 		if field == "" {
+			continue
+		}
+		if strings.HasPrefix(field, "kill-") {
+			ev, err := parseEventTerm(field)
+			if err != nil {
+				return spec, err
+			}
+			spec.Events = append(spec.Events, ev)
 			continue
 		}
 		k, v, ok := strings.Cut(field, "=")
@@ -143,7 +157,8 @@ type Plan struct {
 	disabledPCU map[Coord]bool
 	disabledPMU map[Coord]bool
 	disabledSw  map[Coord]bool
-	downChan    []bool // indexed by channel
+	downChan    []bool  // indexed by channel
+	events      []Event // timed mid-run faults, in firing order
 }
 
 // NewPlan draws a deterministic fault assignment for the given chip. It
@@ -163,17 +178,26 @@ func NewPlan(spec Spec, p arch.Params) (*Plan, error) {
 			}
 		}
 	}
-	if spec.PCUs > len(pcuSlots) {
-		return nil, fmt.Errorf("%w: pcu=%d exceeds %d PCU tiles on the chip", ErrBadSpec, spec.PCUs, len(pcuSlots))
+	evCount := func(k EventKind) int {
+		n := 0
+		for _, e := range spec.Events {
+			if e.Kind == k {
+				n++
+			}
+		}
+		return n
 	}
-	if spec.PMUs > len(pmuSlots) {
-		return nil, fmt.Errorf("%w: pmu=%d exceeds %d PMU tiles on the chip", ErrBadSpec, spec.PMUs, len(pmuSlots))
+	if n := spec.PCUs + evCount(KillPCU); n > len(pcuSlots) {
+		return nil, fmt.Errorf("%w: pcu=%d exceeds %d PCU tiles on the chip", ErrBadSpec, n, len(pcuSlots))
 	}
-	if spec.Switches > len(swSlots) {
-		return nil, fmt.Errorf("%w: sw=%d exceeds %d switch sites", ErrBadSpec, spec.Switches, len(swSlots))
+	if n := spec.PMUs + evCount(KillPMU); n > len(pmuSlots) {
+		return nil, fmt.Errorf("%w: pmu=%d exceeds %d PMU tiles on the chip", ErrBadSpec, n, len(pmuSlots))
 	}
-	if spec.Chans > p.Chip.DDRChannels {
-		return nil, fmt.Errorf("%w: chan=%d exceeds %d DRAM channels", ErrBadSpec, spec.Chans, p.Chip.DDRChannels)
+	if n := spec.Switches + evCount(KillSwitch); n > len(swSlots) {
+		return nil, fmt.Errorf("%w: sw=%d exceeds %d switch sites", ErrBadSpec, n, len(swSlots))
+	}
+	if n := spec.Chans + evCount(KillChan); n > p.Chip.DDRChannels {
+		return nil, fmt.Errorf("%w: chan=%d exceeds %d DRAM channels", ErrBadSpec, n, p.Chip.DDRChannels)
 	}
 
 	rng := rand.New(rand.NewSource(spec.Seed))
@@ -204,6 +228,10 @@ func NewPlan(spec Spec, p arch.Params) (*Plan, error) {
 				break
 			}
 		}
+	}
+	if err := plan.scheduleEvents(spec.Events, pcuSlots, pmuSlots, swSlots,
+		p.Chip.DDRChannels, rng); err != nil {
+		return nil, err
 	}
 	return plan, nil
 }
@@ -351,6 +379,9 @@ func (p *Plan) String() string {
 	}
 	if p.Spec.TransientProb > 0 {
 		fmt.Fprintf(&b, " retry=%g/max%d", p.Spec.TransientProb, p.Spec.MaxRetries)
+	}
+	for _, ev := range p.events {
+		fmt.Fprintf(&b, " %v", ev)
 	}
 	if p.Spec.Zero() {
 		b.WriteString(" (no faults)")

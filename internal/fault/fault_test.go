@@ -2,6 +2,7 @@ package fault
 
 import (
 	"errors"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -15,7 +16,7 @@ func TestParseSpec(t *testing.T) {
 	}
 	want := Spec{Seed: 7, PCUs: 4, PMUs: 2, Switches: 1, Chans: 1,
 		SpikeProb: 0.01, TransientProb: 0.001}
-	if spec != want {
+	if !reflect.DeepEqual(spec, want) {
 		t.Errorf("parsed %+v, want %+v", spec, want)
 	}
 	if s, err := ParseSpec(""); err != nil || !s.Zero() {

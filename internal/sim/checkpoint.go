@@ -1,0 +1,234 @@
+package sim
+
+import (
+	"container/heap"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/fnv"
+
+	"plasticine/internal/dram"
+)
+
+// ErrBadCheckpoint is wrapped by every checkpoint decode/restore failure:
+// truncated or corrupt snapshots, version mismatches, and snapshots taken
+// from a different activity graph.
+var ErrBadCheckpoint = errors.New("sim: bad checkpoint")
+
+// CheckpointVersion is the current snapshot format version. Decode rejects
+// any other version.
+const CheckpointVersion = 1
+
+// ckptMagic opens every encoded checkpoint ("PLCK").
+const ckptMagic = 0x504C434B
+
+// ActState is one activity's dynamic state in a checkpoint.
+type ActState struct {
+	Resolved   bool
+	NDepsLeft  int32
+	Start, End int64
+}
+
+// RunState is one in-flight transfer's AG state in a checkpoint.
+type RunState struct {
+	Act       int32
+	NextBurst int32
+	InFlight  int32
+	Completed int32
+	Requeue   []int32 // burst indices awaiting reissue after lost work
+}
+
+// Checkpoint is a complete, deterministic snapshot of a paused simulation:
+// the clock, every activity's status, the start heap, each running
+// transfer's AG, the watchdog's progress trackers, and the full DRAM state
+// (queues, banks, in-flight and retrying requests, fault PRNG). Restoring
+// it into an engine built from the same program resumes execution
+// cycle-identically to a run that never paused.
+type Checkpoint struct {
+	GraphHash uint64 // fingerprint of the activity graph this state belongs to
+
+	Clock          int64
+	Makespan       int64
+	Bursts         int64
+	Resolved       int32
+	LastResolved   int32
+	LastBursts     int64
+	LastProgressAt int64
+
+	Acts    []ActState
+	Ready   []int32 // activity ids, stack order
+	Waiting []int32 // activity ids, heap-internal order
+	Running []RunState
+
+	DRAM *dram.MemState
+}
+
+// graphFingerprint hashes the static shape of an activity graph: ids, kinds,
+// durations, burst lists and dependency edges. Two graphs built from the
+// same program by the same builder hash identically; any structural drift
+// (different program, changed coalescing) is caught at restore time.
+func graphFingerprint(acts []*activity) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	w := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	w(uint64(len(acts)))
+	for _, a := range acts {
+		w(uint64(a.id))
+		w(uint64(a.kind))
+		w(uint64(a.dur))
+		w(uint64(a.fill))
+		if a.write {
+			w(1)
+		} else {
+			w(0)
+		}
+		w(uint64(len(a.bursts)))
+		for _, b := range a.bursts {
+			w(b)
+		}
+		w(uint64(len(a.deps)))
+		for _, d := range a.deps {
+			w(uint64(d.on.id))
+			w(uint64(d.kind))
+		}
+	}
+	return h.Sum64()
+}
+
+// checkpoint captures the engine at a loop boundary (between cycles).
+func (e *engine) checkpoint() *Checkpoint {
+	cp := &Checkpoint{
+		GraphHash:      graphFingerprint(e.acts),
+		Clock:          e.clock,
+		Makespan:       e.makespan,
+		Bursts:         e.bursts,
+		Resolved:       int32(e.resolvedCount),
+		LastResolved:   int32(e.lastResolved),
+		LastBursts:     e.lastBursts,
+		LastProgressAt: e.lastProgressAt,
+	}
+	for _, a := range e.acts {
+		cp.Acts = append(cp.Acts, ActState{Resolved: a.resolved,
+			NDepsLeft: int32(a.nDepsLeft), Start: a.start, End: a.end})
+	}
+	for _, a := range e.ready {
+		cp.Ready = append(cp.Ready, int32(a.id))
+	}
+	for _, a := range e.waiting {
+		cp.Waiting = append(cp.Waiting, int32(a.id))
+	}
+	for _, rx := range e.running {
+		rs := RunState{Act: int32(rx.act.id), NextBurst: int32(rx.nextBurst),
+			InFlight: int32(rx.inFlight), Completed: int32(rx.completed)}
+		for _, i := range rx.requeue {
+			rs.Requeue = append(rs.Requeue, int32(i))
+		}
+		cp.Running = append(cp.Running, rs)
+	}
+	if e.dram != nil {
+		cp.DRAM = e.dram.Snapshot()
+	}
+	return cp
+}
+
+// restore loads a checkpoint into an engine freshly built from the same
+// program (acts rebuilt, DRAM fresh with the current fault view injected).
+func (e *engine) restore(cp *Checkpoint) error {
+	if h := graphFingerprint(e.acts); h != cp.GraphHash {
+		return fmt.Errorf("%w: graph fingerprint %x does not match checkpoint %x",
+			ErrBadCheckpoint, h, cp.GraphHash)
+	}
+	if len(cp.Acts) != len(e.acts) {
+		return fmt.Errorf("%w: %d activity states for %d activities", ErrBadCheckpoint, len(cp.Acts), len(e.acts))
+	}
+	byID := make(map[int]*activity, len(e.acts))
+	for _, a := range e.acts {
+		if _, dup := byID[a.id]; dup {
+			return fmt.Errorf("%w: duplicate activity id %d", ErrBadCheckpoint, a.id)
+		}
+		byID[a.id] = a
+	}
+	lookup := func(id int32) (*activity, error) {
+		a, ok := byID[int(id)]
+		if !ok {
+			return nil, fmt.Errorf("%w: unknown activity id %d", ErrBadCheckpoint, id)
+		}
+		return a, nil
+	}
+	e.clock = cp.Clock
+	e.makespan = cp.Makespan
+	e.bursts = cp.Bursts
+	e.resolvedCount = int(cp.Resolved)
+	e.lastResolved = int(cp.LastResolved)
+	e.lastBursts = cp.LastBursts
+	e.lastProgressAt = cp.LastProgressAt
+	e.started = true
+	for i, a := range e.acts {
+		st := cp.Acts[i]
+		a.resolved = st.Resolved
+		a.nDepsLeft = int(st.NDepsLeft)
+		a.start, a.end = st.Start, st.End
+	}
+	e.ready = e.ready[:0]
+	for _, id := range cp.Ready {
+		a, err := lookup(id)
+		if err != nil {
+			return err
+		}
+		e.ready = append(e.ready, a)
+	}
+	e.waiting = e.waiting[:0]
+	for _, id := range cp.Waiting {
+		a, err := lookup(id)
+		if err != nil {
+			return err
+		}
+		e.waiting = append(e.waiting, a)
+	}
+	heap.Init(&e.waiting) // stored order is already a valid heap; Init keeps it
+	e.running = e.running[:0]
+	rxByID := make(map[int]*runningXfer, len(cp.Running))
+	for _, rs := range cp.Running {
+		a, err := lookup(rs.Act)
+		if err != nil {
+			return err
+		}
+		rx := &runningXfer{act: a, nextBurst: int(rs.NextBurst),
+			inFlight: int(rs.InFlight), completed: int(rs.Completed)}
+		if rx.nextBurst < 0 || rx.nextBurst > len(a.bursts) {
+			return fmt.Errorf("%w: transfer %d next burst %d out of range", ErrBadCheckpoint, a.id, rx.nextBurst)
+		}
+		for _, i := range rs.Requeue {
+			if i < 0 || int(i) >= len(a.bursts) {
+				return fmt.Errorf("%w: transfer %d requeued burst %d out of range", ErrBadCheckpoint, a.id, i)
+			}
+			rx.requeue = append(rx.requeue, int(i))
+		}
+		e.running = append(e.running, rx)
+		rxByID[a.id] = rx
+	}
+	if cp.DRAM != nil {
+		if e.dram == nil {
+			return fmt.Errorf("%w: checkpoint carries DRAM state but the engine has no memory system", ErrBadCheckpoint)
+		}
+		err := e.dram.Restore(cp.DRAM, func(tag int64) func(int64) {
+			actID, _ := splitTag(tag)
+			rx, ok := rxByID[actID]
+			if !ok {
+				return nil // Restore turns a nil callback into an error
+			}
+			return func(int64) {
+				rx.inFlight--
+				rx.completed++
+				e.bursts++
+			}
+		})
+		if err != nil {
+			return fmt.Errorf("%w: %v", ErrBadCheckpoint, err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,222 @@
+package sim
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"plasticine/internal/dhdl"
+	"plasticine/internal/dram"
+)
+
+// buildCkptGraph constructs a deterministic load → compute → store graph
+// with enough bursts to stay mid-flight for thousands of cycles. Calling it
+// twice yields two independent but identical graphs.
+func buildCkptGraph() []*activity {
+	mkBursts := func(n, stride int) []uint64 {
+		out := make([]uint64, n)
+		for i := range out {
+			out[i] = uint64(i * stride)
+		}
+		return out
+	}
+	load := &activity{id: 0, kind: actTransfer, fill: 4,
+		leaf: &dhdl.Controller{Name: "load"}, bursts: mkBursts(512, 64)}
+	load2 := &activity{id: 1, kind: actTransfer, fill: 4,
+		leaf: &dhdl.Controller{Name: "load2"}, bursts: mkBursts(512, 128)}
+	comp := &activity{id: 2, kind: actCompute, dur: 700, fill: 9,
+		leaf: &dhdl.Controller{Name: "dot"}}
+	comp.addDep(load, fillToStart)
+	comp.addDep(load2, endToStart)
+	store := &activity{id: 3, kind: actTransfer, fill: 4, write: true,
+		leaf: &dhdl.Controller{Name: "store"}, bursts: mkBursts(256, 64)}
+	store.addDep(comp, endToStart)
+	return []*activity{load, load2, comp, store}
+}
+
+func ckptEngine(acts []*activity, faults *dram.Faults) *engine {
+	ddr := dram.New(dram.DDR3_1600x4())
+	if err := ddr.InjectFaults(faults); err != nil {
+		panic(err)
+	}
+	return &engine{acts: acts, dram: ddr}
+}
+
+func ckptFaults() *dram.Faults {
+	return &dram.Faults{Seed: 77, SpikeProb: 0.1, SpikeCycles: 40,
+		TransientProb: 0.05, MaxRetries: 3, RetryBackoff: 16}
+}
+
+func TestCheckpointRoundTripMidRun(t *testing.T) {
+	// Reference: uninterrupted run.
+	ref := ckptEngine(buildCkptGraph(), ckptFaults())
+	wantMk, err := ref.run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Interrupted: pause mid-flight, checkpoint, encode, decode, restore
+	// into a fresh engine, finish there.
+	paused := ckptEngine(buildCkptGraph(), ckptFaults())
+	const stopAt = 1500
+	done, err := paused.runUntil(stopAt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done {
+		t.Fatal("graph finished before the pause point; enlarge it")
+	}
+	if paused.clock != stopAt {
+		t.Fatalf("paused at cycle %d, want %d", paused.clock, stopAt)
+	}
+	cp := paused.checkpoint()
+	if len(cp.Running) == 0 {
+		t.Fatal("pause point has no transfer mid-flight; test is vacuous")
+	}
+	enc := cp.Encode()
+	dec, err := DecodeCheckpoint(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(cp, dec) {
+		t.Fatal("decode(encode(checkpoint)) is not identity")
+	}
+
+	resumed := ckptEngine(buildCkptGraph(), ckptFaults())
+	if err := resumed.restore(dec); err != nil {
+		t.Fatal(err)
+	}
+	gotMk, err := resumed.run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotMk != wantMk {
+		t.Errorf("restored run makespan %d, uninterrupted %d", gotMk, wantMk)
+	}
+	for i, a := range resumed.acts {
+		want := ref.acts[i]
+		if a.start != want.start || a.end != want.end {
+			t.Errorf("%s: restored [%d,%d], uninterrupted [%d,%d]",
+				actLabel(a), a.start, a.end, want.start, want.end)
+		}
+	}
+	if resumed.dram.Stats() != ref.dram.Stats() {
+		t.Errorf("restored DRAM stats diverge:\n%+v\n%+v", resumed.dram.Stats(), ref.dram.Stats())
+	}
+
+	// Encoding is deterministic byte-for-byte.
+	if string(cp.Encode()) != string(enc) {
+		t.Error("re-encoding the same checkpoint changed bytes")
+	}
+}
+
+func TestCheckpointRejectsWrongGraph(t *testing.T) {
+	paused := ckptEngine(buildCkptGraph(), nil)
+	if _, err := paused.runUntil(500); err != nil {
+		t.Fatal(err)
+	}
+	cp := paused.checkpoint()
+
+	other := buildCkptGraph()
+	other[0].bursts = other[0].bursts[:100] // structurally different graph
+	e := ckptEngine(other, nil)
+	if err := e.restore(cp); !errors.Is(err, ErrBadCheckpoint) {
+		t.Errorf("restore into a different graph: want ErrBadCheckpoint, got %v", err)
+	}
+}
+
+func TestDecodeCheckpointRejectsCorruption(t *testing.T) {
+	paused := ckptEngine(buildCkptGraph(), ckptFaults())
+	if _, err := paused.runUntil(1000); err != nil {
+		t.Fatal(err)
+	}
+	enc := paused.checkpoint().Encode()
+	if _, err := DecodeCheckpoint(nil); !errors.Is(err, ErrBadCheckpoint) {
+		t.Errorf("nil input: want ErrBadCheckpoint, got %v", err)
+	}
+	if _, err := DecodeCheckpoint(enc[:len(enc)/2]); !errors.Is(err, ErrBadCheckpoint) {
+		t.Errorf("truncated input: want ErrBadCheckpoint, got %v", err)
+	}
+	for _, off := range []int{0, 4, 8, 40, len(enc) / 2, len(enc) - 5} {
+		bad := append([]byte(nil), enc...)
+		bad[off] ^= 0x40
+		if _, err := DecodeCheckpoint(bad); !errors.Is(err, ErrBadCheckpoint) {
+			t.Errorf("flip at %d: want ErrBadCheckpoint, got %v", off, err)
+		}
+	}
+}
+
+func TestDrainInFlightReachesQuiescence(t *testing.T) {
+	e := ckptEngine(buildCkptGraph(), nil)
+	done, err := e.runUntil(300)
+	if err != nil || done {
+		t.Fatalf("pause failed: done=%v err=%v", done, err)
+	}
+	pre, cost, err := e.drainInFlight()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pre.Quiescent() {
+		t.Error("pre-drain state reports quiescent while bursts were in flight")
+	}
+	if !e.quiescent() {
+		t.Error("engine not quiescent after drain")
+	}
+	if cost <= 0 {
+		t.Errorf("drain cost %d cycles, want > 0 with bursts in flight", cost)
+	}
+	if post := e.quiesceState(); !post.Quiescent() {
+		t.Errorf("post-drain quiesce state not quiescent: %+v", post)
+	}
+	// The drain's pre-state and the watchdog's diagnostic derive from the
+	// same helper, so their in-flight/queue numbers must be identical; the
+	// checkpoint's DRAM queues must agree with the post-drain view (empty).
+	for _, n := range e.diagnostic("x").DRAMQueues {
+		if n != 0 {
+			t.Errorf("diagnostic reports queued work after drain: %v", e.diagnostic("x").DRAMQueues)
+		}
+	}
+}
+
+func TestWatchdogAndQuiesceAgree(t *testing.T) {
+	e := ckptEngine(buildCkptGraph(), nil)
+	if _, err := e.runUntil(300); err != nil {
+		t.Fatal(err)
+	}
+	q := e.quiesceState()
+	w := e.diagnostic("probe")
+	if !reflect.DeepEqual(q.InFlight, w.InFlight) {
+		t.Errorf("drain and watchdog in-flight views differ:\n%+v\n%+v", q.InFlight, w.InFlight)
+	}
+	if !reflect.DeepEqual(q.DRAMQueues, w.DRAMQueues) {
+		t.Errorf("drain and watchdog queue views differ:\n%v\n%v", q.DRAMQueues, w.DRAMQueues)
+	}
+}
+
+func FuzzCheckpointDecode(f *testing.F) {
+	paused := ckptEngine(buildCkptGraph(), ckptFaults())
+	if _, err := paused.runUntil(1500); err != nil {
+		f.Fatal(err)
+	}
+	valid := paused.checkpoint().Encode()
+	f.Add(valid)
+	f.Add(valid[:len(valid)/3])
+	f.Add([]byte{})
+	f.Add([]byte("PLCK"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		cp, err := DecodeCheckpoint(data) // must never panic
+		if err != nil {
+			return
+		}
+		// Whatever decodes must re-encode to the identical bytes and decode
+		// back to the identical structure.
+		enc := cp.Encode()
+		cp2, err := DecodeCheckpoint(enc)
+		if err != nil {
+			t.Fatalf("re-decode of re-encoded checkpoint failed: %v", err)
+		}
+		if !reflect.DeepEqual(cp, cp2) {
+			t.Fatal("decode/encode round trip not stable")
+		}
+	})
+}

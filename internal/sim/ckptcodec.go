@@ -1,0 +1,325 @@
+package sim
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+
+	"plasticine/internal/dram"
+)
+
+// Binary checkpoint format, little-endian throughout:
+//
+//	u32 magic "PLCK" | u32 version | payload | u32 crc32(magic..payload)
+//
+// The payload is a fixed field order (see encode/decode below); every count
+// is a u32 validated against the remaining input before allocation, so a
+// corrupt or truncated snapshot returns an error — never a panic and never
+// an unbounded allocation.
+
+type wbuf struct{ b []byte }
+
+func (w *wbuf) u8(v uint8)   { w.b = append(w.b, v) }
+func (w *wbuf) u32(v uint32) { w.b = binary.LittleEndian.AppendUint32(w.b, v) }
+func (w *wbuf) u64(v uint64) { w.b = binary.LittleEndian.AppendUint64(w.b, v) }
+func (w *wbuf) i64(v int64)  { w.u64(uint64(v)) }
+func (w *wbuf) bool(v bool) {
+	if v {
+		w.u8(1)
+	} else {
+		w.u8(0)
+	}
+}
+
+type rbuf struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (r *rbuf) fail(format string, args ...any) {
+	if r.err == nil {
+		r.err = fmt.Errorf("%w: %s", ErrBadCheckpoint, fmt.Sprintf(format, args...))
+	}
+}
+
+func (r *rbuf) take(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if n < 0 || r.off+n > len(r.b) {
+		r.fail("truncated at offset %d (want %d more bytes)", r.off, n)
+		return nil
+	}
+	out := r.b[r.off : r.off+n]
+	r.off += n
+	return out
+}
+
+func (r *rbuf) u8() uint8 {
+	if b := r.take(1); b != nil {
+		return b[0]
+	}
+	return 0
+}
+
+func (r *rbuf) u32() uint32 {
+	if b := r.take(4); b != nil {
+		return binary.LittleEndian.Uint32(b)
+	}
+	return 0
+}
+
+func (r *rbuf) u64() uint64 {
+	if b := r.take(8); b != nil {
+		return binary.LittleEndian.Uint64(b)
+	}
+	return 0
+}
+
+func (r *rbuf) i64() int64 { return int64(r.u64()) }
+
+func (r *rbuf) bool() bool { return r.u8() != 0 }
+
+// count reads a u32 element count and rejects values that could not fit in
+// the remaining input at elemSize bytes per element.
+func (r *rbuf) count(what string, elemSize int) int {
+	n := int(r.u32())
+	if r.err == nil && n*elemSize > len(r.b)-r.off {
+		r.fail("%s count %d exceeds remaining %d bytes", what, n, len(r.b)-r.off)
+		return 0
+	}
+	return n
+}
+
+func encodeStats(w *wbuf, s dram.Stats) {
+	w.i64(s.Reads)
+	w.i64(s.Writes)
+	w.i64(s.Refreshes)
+	w.i64(s.RowHits)
+	w.i64(s.RowMisses)
+	w.i64(s.RowConflicts)
+	w.i64(s.BytesRead)
+	w.i64(s.BytesWritten)
+	w.i64(s.TotalLatency)
+	w.i64(int64(s.MaxQueueOcc))
+	w.i64(s.StallsQueueFull)
+	w.i64(s.Retries)
+	w.i64(s.RetriesExhausted)
+	w.i64(s.LatencySpikes)
+	w.i64(s.StallsChannelDown)
+}
+
+func decodeStats(r *rbuf) dram.Stats {
+	var s dram.Stats
+	s.Reads = r.i64()
+	s.Writes = r.i64()
+	s.Refreshes = r.i64()
+	s.RowHits = r.i64()
+	s.RowMisses = r.i64()
+	s.RowConflicts = r.i64()
+	s.BytesRead = r.i64()
+	s.BytesWritten = r.i64()
+	s.TotalLatency = r.i64()
+	s.MaxQueueOcc = int(r.i64())
+	s.StallsQueueFull = r.i64()
+	s.Retries = r.i64()
+	s.RetriesExhausted = r.i64()
+	s.LatencySpikes = r.i64()
+	s.StallsChannelDown = r.i64()
+	return s
+}
+
+func encodeReq(w *wbuf, q dram.ReqState) {
+	w.u64(q.Addr)
+	w.bool(q.Write)
+	w.i64(q.Issued)
+	w.u32(uint32(q.Attempts))
+	w.i64(q.Tag)
+	w.i64(q.At)
+}
+
+func decodeReq(r *rbuf) dram.ReqState {
+	var q dram.ReqState
+	q.Addr = r.u64()
+	q.Write = r.bool()
+	q.Issued = r.i64()
+	q.Attempts = int32(r.u32())
+	q.Tag = r.i64()
+	q.At = r.i64()
+	return q
+}
+
+const reqWireSize = 8 + 1 + 8 + 4 + 8 + 8
+
+func encodeMemState(w *wbuf, st *dram.MemState) {
+	w.i64(st.Now)
+	w.i64(st.NextRefresh)
+	w.u64(st.RNG)
+	encodeStats(w, st.Stats)
+	w.u32(uint32(len(st.Banks)))
+	for _, b := range st.Banks {
+		w.i64(b.OpenRow)
+		w.i64(b.ReadyAt)
+	}
+	w.u32(uint32(len(st.BusFree)))
+	for _, v := range st.BusFree {
+		w.i64(v)
+	}
+	w.u32(uint32(len(st.Acts)))
+	for _, v := range st.Acts {
+		w.i64(v)
+	}
+	w.u32(uint32(len(st.Queued)))
+	for _, q := range st.Queued {
+		w.u32(uint32(len(q)))
+		for _, rq := range q {
+			encodeReq(w, rq)
+		}
+	}
+	w.u32(uint32(len(st.Pending)))
+	for _, rq := range st.Pending {
+		encodeReq(w, rq)
+	}
+	w.u32(uint32(len(st.Retry)))
+	for _, rq := range st.Retry {
+		encodeReq(w, rq)
+	}
+}
+
+func decodeMemState(r *rbuf) *dram.MemState {
+	st := &dram.MemState{}
+	st.Now = r.i64()
+	st.NextRefresh = r.i64()
+	st.RNG = r.u64()
+	st.Stats = decodeStats(r)
+	for i, n := 0, r.count("bank", 16); i < n && r.err == nil; i++ {
+		st.Banks = append(st.Banks, dram.BankState{OpenRow: r.i64(), ReadyAt: r.i64()})
+	}
+	for i, n := 0, r.count("bus", 8); i < n && r.err == nil; i++ {
+		st.BusFree = append(st.BusFree, r.i64())
+	}
+	for i, n := 0, r.count("activate", 8); i < n && r.err == nil; i++ {
+		st.Acts = append(st.Acts, r.i64())
+	}
+	nq := r.count("queue", 4)
+	if r.err == nil {
+		st.Queued = make([][]dram.ReqState, nq)
+	}
+	for qi := 0; qi < nq && r.err == nil; qi++ {
+		for i, n := 0, r.count("queued request", reqWireSize); i < n && r.err == nil; i++ {
+			st.Queued[qi] = append(st.Queued[qi], decodeReq(r))
+		}
+	}
+	for i, n := 0, r.count("pending request", reqWireSize); i < n && r.err == nil; i++ {
+		st.Pending = append(st.Pending, decodeReq(r))
+	}
+	for i, n := 0, r.count("retry request", reqWireSize); i < n && r.err == nil; i++ {
+		st.Retry = append(st.Retry, decodeReq(r))
+	}
+	return st
+}
+
+// Encode serializes the checkpoint to its versioned binary form.
+func (cp *Checkpoint) Encode() []byte {
+	w := &wbuf{}
+	w.u32(ckptMagic)
+	w.u32(CheckpointVersion)
+	w.u64(cp.GraphHash)
+	w.i64(cp.Clock)
+	w.i64(cp.Makespan)
+	w.i64(cp.Bursts)
+	w.u32(uint32(cp.Resolved))
+	w.u32(uint32(cp.LastResolved))
+	w.i64(cp.LastBursts)
+	w.i64(cp.LastProgressAt)
+	w.u32(uint32(len(cp.Acts)))
+	for _, a := range cp.Acts {
+		w.bool(a.Resolved)
+		w.u32(uint32(a.NDepsLeft))
+		w.i64(a.Start)
+		w.i64(a.End)
+	}
+	w.u32(uint32(len(cp.Ready)))
+	for _, id := range cp.Ready {
+		w.u32(uint32(id))
+	}
+	w.u32(uint32(len(cp.Waiting)))
+	for _, id := range cp.Waiting {
+		w.u32(uint32(id))
+	}
+	w.u32(uint32(len(cp.Running)))
+	for _, rs := range cp.Running {
+		w.u32(uint32(rs.Act))
+		w.u32(uint32(rs.NextBurst))
+		w.u32(uint32(rs.InFlight))
+		w.u32(uint32(rs.Completed))
+		w.u32(uint32(len(rs.Requeue)))
+		for _, i := range rs.Requeue {
+			w.u32(uint32(i))
+		}
+	}
+	w.bool(cp.DRAM != nil)
+	if cp.DRAM != nil {
+		encodeMemState(w, cp.DRAM)
+	}
+	w.u32(crc32.ChecksumIEEE(w.b))
+	return w.b
+}
+
+// DecodeCheckpoint parses an encoded checkpoint, validating magic, version,
+// checksum and every count. It never panics: corrupt input yields an error
+// wrapping ErrBadCheckpoint.
+func DecodeCheckpoint(data []byte) (*Checkpoint, error) {
+	if len(data) < 12 {
+		return nil, fmt.Errorf("%w: %d bytes is shorter than any checkpoint", ErrBadCheckpoint, len(data))
+	}
+	body, sum := data[:len(data)-4], binary.LittleEndian.Uint32(data[len(data)-4:])
+	if got := crc32.ChecksumIEEE(body); got != sum {
+		return nil, fmt.Errorf("%w: checksum mismatch (stored %08x, computed %08x)", ErrBadCheckpoint, sum, got)
+	}
+	r := &rbuf{b: body}
+	if m := r.u32(); m != ckptMagic {
+		return nil, fmt.Errorf("%w: bad magic %08x", ErrBadCheckpoint, m)
+	}
+	if v := r.u32(); v != CheckpointVersion {
+		return nil, fmt.Errorf("%w: version %d, this build reads %d", ErrBadCheckpoint, v, CheckpointVersion)
+	}
+	cp := &Checkpoint{}
+	cp.GraphHash = r.u64()
+	cp.Clock = r.i64()
+	cp.Makespan = r.i64()
+	cp.Bursts = r.i64()
+	cp.Resolved = int32(r.u32())
+	cp.LastResolved = int32(r.u32())
+	cp.LastBursts = r.i64()
+	cp.LastProgressAt = r.i64()
+	for i, n := 0, r.count("activity", 21); i < n && r.err == nil; i++ {
+		cp.Acts = append(cp.Acts, ActState{Resolved: r.bool(),
+			NDepsLeft: int32(r.u32()), Start: r.i64(), End: r.i64()})
+	}
+	for i, n := 0, r.count("ready", 4); i < n && r.err == nil; i++ {
+		cp.Ready = append(cp.Ready, int32(r.u32()))
+	}
+	for i, n := 0, r.count("waiting", 4); i < n && r.err == nil; i++ {
+		cp.Waiting = append(cp.Waiting, int32(r.u32()))
+	}
+	for i, n := 0, r.count("running transfer", 20); i < n && r.err == nil; i++ {
+		rs := RunState{Act: int32(r.u32()), NextBurst: int32(r.u32()),
+			InFlight: int32(r.u32()), Completed: int32(r.u32())}
+		for j, m := 0, r.count("requeued burst", 4); j < m && r.err == nil; j++ {
+			rs.Requeue = append(rs.Requeue, int32(r.u32()))
+		}
+		cp.Running = append(cp.Running, rs)
+	}
+	if r.bool() {
+		cp.DRAM = decodeMemState(r)
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	if r.off != len(body) {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrBadCheckpoint, len(body)-r.off)
+	}
+	return cp, nil
+}

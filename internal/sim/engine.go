@@ -21,6 +21,10 @@ type runningXfer struct {
 	nextBurst int
 	inFlight  int
 	completed int
+	// requeue holds burst indices whose requests were dropped by a mid-run
+	// fault (e.g. a killed DRAM channel) and must be reissued. act.bursts is
+	// never mutated, so the graph fingerprint stays valid across recovery.
+	requeue []int
 }
 
 type startHeap []*activity
@@ -30,6 +34,13 @@ func (h startHeap) Less(i, j int) bool { return h[i].start < h[j].start }
 func (h startHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
 func (h *startHeap) Push(x any)        { *h = append(*h, x.(*activity)) }
 func (h *startHeap) Pop() any          { old := *h; n := len(old); v := old[n-1]; *h = old[:n-1]; return v }
+
+// burstTag packs an activity id and burst index into a dram.Request tag, so
+// checkpoint restore and lost-work accounting can identify any in-flight
+// burst without serializing closures.
+func burstTag(actID, burst int) int64 { return int64(actID)<<32 | int64(uint32(burst)) }
+
+func splitTag(tag int64) (actID, burst int) { return int(tag >> 32), int(uint32(tag)) }
 
 // engine resolves the activity graph against the DRAM model.
 type engine struct {
@@ -48,127 +59,264 @@ type engine struct {
 	running []*runningXfer
 
 	bursts int64 // completed bursts (watchdog progress signal)
+
+	// Run state, held in fields (not loop locals) so a run can pause at a
+	// fault event, be checkpointed, and resume.
+	started        bool
+	resolvedCount  int
+	makespan       int64
+	lastResolved   int
+	lastBursts     int64
+	lastProgressAt int64
 }
 
-// run resolves every activity and returns the makespan in cycles.
-func (e *engine) run() (int64, error) {
+// start seeds the ready list; idempotent across runUntil calls.
+func (e *engine) start() {
+	if e.started {
+		return
+	}
+	e.started = true
 	for _, a := range e.acts {
 		if a.nDepsLeft == 0 {
 			e.ready = append(e.ready, a)
 		}
 	}
-	resolvedCount := 0
-	var makespan int64
+}
 
-	stallWindow := e.stallWindow
-	if stallWindow == 0 {
-		stallWindow = defaultStallWindow
+func (e *engine) resolve(a *activity, start, end int64) {
+	a.start, a.end = start, end
+	a.resolved = true
+	e.resolvedCount++
+	if end > e.makespan {
+		e.makespan = end
 	}
-	lastResolved, lastBursts := 0, int64(0)
-	var lastProgressAt int64
-
-	resolve := func(a *activity, start, end int64) {
-		a.start, a.end = start, end
-		a.resolved = true
-		resolvedCount++
-		if end > makespan {
-			makespan = end
-		}
-		for _, d := range a.dependents {
-			d.nDepsLeft--
-			if d.nDepsLeft == 0 {
-				e.ready = append(e.ready, d)
-			}
+	for _, d := range a.dependents {
+		d.nDepsLeft--
+		if d.nDepsLeft == 0 {
+			e.ready = append(e.ready, d)
 		}
 	}
+}
 
-	drainReady := func() {
-		for len(e.ready) > 0 {
-			a := e.ready[len(e.ready)-1]
-			e.ready = e.ready[:len(e.ready)-1]
-			start := int64(0)
-			for _, d := range a.deps {
-				if t := d.gateTime(); t > start {
-					start = t
-				}
+func (e *engine) drainReady() {
+	for len(e.ready) > 0 {
+		a := e.ready[len(e.ready)-1]
+		e.ready = e.ready[:len(e.ready)-1]
+		start := int64(0)
+		for _, d := range a.deps {
+			if t := d.gateTime(); t > start {
+				start = t
 			}
-			switch a.kind {
-			case actBarrier:
-				resolve(a, start, start)
-			case actCompute:
-				resolve(a, start, start+a.dur)
-			case actTransfer:
-				if len(a.bursts) == 0 {
-					resolve(a, start, start+a.fill)
-					continue
-				}
-				a.start = start
-				heap.Push(&e.waiting, a)
+		}
+		switch a.kind {
+		case actBarrier:
+			e.resolve(a, start, start)
+		case actCompute:
+			e.resolve(a, start, start+a.dur)
+		case actTransfer:
+			if len(a.bursts) == 0 {
+				e.resolve(a, start, start+a.fill)
+				continue
 			}
+			a.start = start
+			heap.Push(&e.waiting, a)
 		}
 	}
+}
 
-	drainReady()
-	for len(e.waiting) > 0 || len(e.running) > 0 {
-		// Admit transfers whose start time has arrived; if idle, jump.
-		if len(e.running) == 0 && len(e.waiting) > 0 && e.waiting[0].start > e.clock {
-			e.clock = e.waiting[0].start
-			lastProgressAt = e.clock // a jump is forward progress
-		}
-		for len(e.waiting) > 0 && e.waiting[0].start <= e.clock {
-			a := heap.Pop(&e.waiting).(*activity)
-			e.running = append(e.running, &runningXfer{act: a})
-			lastProgressAt = e.clock // admission is forward progress
-		}
-		// Issue bursts from each running transfer's AG.
-		for _, rx := range e.running {
-			for k := 0; k < agIssueWidth; k++ {
-				if rx.nextBurst >= len(rx.act.bursts) || rx.inFlight >= agOutstanding {
-					break
-				}
-				addr := rx.act.bursts[rx.nextBurst]
-				rxc := rx
-				req := &dram.Request{Addr: addr, Write: rx.act.write, Done: func(int64) {
+// issueBursts feeds each running transfer's AG, reissuing fault-dropped
+// bursts before advancing to new ones.
+func (e *engine) issueBursts() {
+	for _, rx := range e.running {
+		for k := 0; k < agIssueWidth; k++ {
+			if rx.inFlight >= agOutstanding {
+				break
+			}
+			idx := -1
+			if len(rx.requeue) > 0 {
+				idx = rx.requeue[0]
+			} else if rx.nextBurst < len(rx.act.bursts) {
+				idx = rx.nextBurst
+			} else {
+				break
+			}
+			rxc := rx
+			req := &dram.Request{Addr: rx.act.bursts[idx], Write: rx.act.write,
+				Tag: burstTag(rx.act.id, idx), Done: func(int64) {
 					rxc.inFlight--
 					rxc.completed++
 					e.bursts++
 				}}
-				if !e.dram.Submit(req) {
-					break // channel queue full; retry next cycle
-				}
+			if !e.dram.Submit(req) {
+				break // channel queue full; retry next cycle
+			}
+			if len(rx.requeue) > 0 {
+				rx.requeue = rx.requeue[1:]
+			} else {
 				rx.nextBurst++
-				rx.inFlight++
+			}
+			rx.inFlight++
+		}
+	}
+}
+
+// retire resolves transfers whose bursts have all completed.
+func (e *engine) retire() {
+	kept := e.running[:0]
+	for _, rx := range e.running {
+		if rx.completed == len(rx.act.bursts) {
+			e.resolve(rx.act, rx.act.start, e.clock+rx.act.fill)
+		} else {
+			kept = append(kept, rx)
+		}
+	}
+	e.running = kept
+}
+
+// checkWatchdog enforces the cycle budget and the stall detector.
+func (e *engine) checkWatchdog() error {
+	stallWindow := e.stallWindow
+	if stallWindow == 0 {
+		stallWindow = defaultStallWindow
+	}
+	if e.resolvedCount != e.lastResolved || e.bursts != e.lastBursts {
+		e.lastResolved, e.lastBursts = e.resolvedCount, e.bursts
+		e.lastProgressAt = e.clock
+	}
+	if e.maxCycles > 0 && e.clock >= e.maxCycles {
+		return e.diagnostic(fmt.Sprintf("cycle budget %d exhausted", e.maxCycles))
+	}
+	if stallWindow > 0 && e.clock-e.lastProgressAt >= stallWindow {
+		return e.diagnostic(fmt.Sprintf("no forward progress for %d cycles (livelock)", stallWindow))
+	}
+	return nil
+}
+
+// runUntil advances the schedule until every activity resolves or the clock
+// reaches stopAt (>= 0; pass a negative stopAt to run to completion). It
+// returns true when the schedule finished. On a stop the engine is at a loop
+// boundary — between cycles — which is exactly where a checkpoint or fault
+// event may be applied.
+func (e *engine) runUntil(stopAt int64) (bool, error) {
+	e.start()
+	e.drainReady()
+	for len(e.waiting) > 0 || len(e.running) > 0 {
+		if stopAt >= 0 && e.clock >= stopAt {
+			return false, nil
+		}
+		// Admit transfers whose start time has arrived; if idle, jump (but
+		// never past the stop point).
+		if len(e.running) == 0 && len(e.waiting) > 0 && e.waiting[0].start > e.clock {
+			jump := e.waiting[0].start
+			if stopAt >= 0 && jump > stopAt {
+				jump = stopAt
+			}
+			e.clock = jump
+			e.lastProgressAt = e.clock // a jump is forward progress
+			if stopAt >= 0 && e.clock >= stopAt {
+				return false, nil
 			}
 		}
+		for len(e.waiting) > 0 && e.waiting[0].start <= e.clock {
+			a := heap.Pop(&e.waiting).(*activity)
+			e.running = append(e.running, &runningXfer{act: a})
+			e.lastProgressAt = e.clock // admission is forward progress
+		}
+		e.issueBursts()
 		e.clock++
 		e.dram.Tick(e.clock)
-		// Watchdog: track forward progress (resolved activities or
-		// completed bursts) and enforce the cycle budget.
-		if resolvedCount != lastResolved || e.bursts != lastBursts {
-			lastResolved, lastBursts = resolvedCount, e.bursts
-			lastProgressAt = e.clock
+		if err := e.checkWatchdog(); err != nil {
+			return false, err
 		}
-		if e.maxCycles > 0 && e.clock >= e.maxCycles {
-			return 0, e.diagnostic(fmt.Sprintf("cycle budget %d exhausted", e.maxCycles), resolvedCount)
-		}
-		if stallWindow > 0 && e.clock-lastProgressAt >= stallWindow {
-			return 0, e.diagnostic(fmt.Sprintf("no forward progress for %d cycles (livelock)", stallWindow), resolvedCount)
-		}
-		// Retire finished transfers.
-		kept := e.running[:0]
-		for _, rx := range e.running {
-			if rx.completed == len(rx.act.bursts) {
-				resolve(rx.act, rx.act.start, e.clock+rx.act.fill)
-			} else {
-				kept = append(kept, rx)
-			}
-		}
-		e.running = kept
-		drainReady()
+		e.retire()
+		e.drainReady()
 	}
+	return true, nil
+}
 
-	if resolvedCount != len(e.acts) {
-		return 0, e.diagnostic("deadlock (dependency cycle)", resolvedCount)
+// run resolves every activity and returns the makespan in cycles.
+func (e *engine) run() (int64, error) {
+	if _, err := e.runUntil(-1); err != nil {
+		return 0, err
 	}
-	return makespan, nil
+	if e.resolvedCount != len(e.acts) {
+		return 0, e.diagnostic("deadlock (dependency cycle)")
+	}
+	return e.makespan, nil
+}
+
+// QuiesceState reports in-flight work at one instant: transfers mid-burst
+// and per-channel DRAM queue occupancy. The watchdog's diagnostic dump and
+// the checkpoint drain both derive from this one helper, so their numbers
+// always agree.
+type QuiesceState struct {
+	Cycle      int64
+	InFlight   []StuckTransfer
+	DRAMQueues []int
+}
+
+// Quiescent reports whether nothing is mid-flight.
+func (q QuiesceState) Quiescent() bool {
+	for _, t := range q.InFlight {
+		if t.InFlight > 0 {
+			return false
+		}
+	}
+	for _, n := range q.DRAMQueues {
+		if n > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// quiesceState snapshots the engine's in-flight work.
+func (e *engine) quiesceState() QuiesceState {
+	q := QuiesceState{Cycle: e.clock}
+	for _, rx := range e.running {
+		q.InFlight = append(q.InFlight, StuckTransfer{
+			Name:      actLabel(rx.act),
+			Completed: rx.completed,
+			Total:     len(rx.act.bursts),
+			InFlight:  rx.inFlight,
+		})
+	}
+	if e.dram != nil {
+		q.DRAMQueues = e.dram.QueueOccupancy()
+	}
+	return q
+}
+
+// quiescent reports whether no burst is queued or in flight anywhere.
+func (e *engine) quiescent() bool {
+	for _, rx := range e.running {
+		if rx.inFlight > 0 {
+			return false
+		}
+	}
+	return e.dram == nil || e.dram.Idle()
+}
+
+// drainInFlight ticks the memory system until every outstanding burst lands,
+// admitting no new transfers and issuing no new bursts — the quiescence
+// protocol run when a fault event fires. It returns the pre-drain state
+// (identical to what a watchdog dump at the same instant would report) and
+// the number of cycles the drain took; that cost is part of the recovery
+// overhead. The watchdog stays armed, so a drain that cannot finish (e.g.
+// every channel down) aborts instead of spinning.
+func (e *engine) drainInFlight() (QuiesceState, int64, error) {
+	q := e.quiesceState()
+	from := e.clock
+	for !e.quiescent() {
+		e.clock++
+		e.dram.Tick(e.clock)
+		if err := e.checkWatchdog(); err != nil {
+			return q, e.clock - from, err
+		}
+		e.retire()
+	}
+	// Transfers finishing exactly at the drain boundary retire here so the
+	// checkpoint sees them resolved.
+	e.retire()
+	return q, e.clock - from, nil
 }

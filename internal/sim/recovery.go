@@ -1,0 +1,162 @@
+package sim
+
+import (
+	"fmt"
+	"time"
+
+	"plasticine/internal/compiler"
+	"plasticine/internal/dhdl"
+	"plasticine/internal/dram"
+	"plasticine/internal/fault"
+)
+
+// RecoveryEvent is the measured overhead of surviving one timed fault.
+type RecoveryEvent struct {
+	Event string // rendered fault event, e.g. "kill-pcu@5000 (4,2)"
+	At    int64  // cycle execution actually paused (>= the scheduled cycle)
+
+	// DrainCycles is the quiescence protocol's cost: cycles spent letting
+	// every outstanding burst land before the checkpoint.
+	DrainCycles int64
+	// CheckpointBytes is the encoded snapshot size.
+	CheckpointBytes int
+	// LostBursts counts in-flight requests dropped by the fault (killed
+	// channel); each is reissued after the restore.
+	LostBursts int
+
+	// Repair outcome (zero for memory-channel faults, which need no
+	// fabric reconfiguration).
+	MovedPCUs, MovedPMUs, ReroutedEdges int
+	FullRecompile                       bool
+	// ReconfigCycles is the stall charged for streaming new unit and switch
+	// configurations plus refilling moved PMUs' scratchpads.
+	ReconfigCycles int64
+}
+
+// Overhead is the stall this event added on top of lost throughput.
+func (e *RecoveryEvent) Overhead() int64 { return e.DrainCycles + e.ReconfigCycles }
+
+// RecoveryStats aggregates every survived fault of a run.
+type RecoveryStats struct {
+	Events []RecoveryEvent
+
+	DrainCycles    int64 // total quiescence cost
+	ReconfigCycles int64 // total reconfiguration stall
+	LostBursts     int   // total dropped-and-reissued DRAM bursts
+}
+
+// Overhead is the total stall cycles spent recovering. The remaining
+// recovery cost — re-executing lost work and running on a degraded fabric —
+// shows up as extra makespan beyond this stall and is measured by comparing
+// against an event-free run of the same plan.
+func (s *RecoveryStats) Overhead() int64 { return s.DrainCycles + s.ReconfigCycles }
+
+// RunWithRecovery simulates a compiled program whose fault plan schedules
+// timed mid-run events, surviving each one:
+//
+//  1. run to the event's cycle (a loop boundary);
+//  2. land the fault — a killed DRAM channel drops its queued and in-flight
+//     bursts, which are accounted and marked for reissue;
+//  3. drain the remaining in-flight work to quiescence;
+//  4. checkpoint, round-tripping through the versioned wire encoding;
+//  5. repair the mapping incrementally around the dead resource (fabric
+//     faults only) and charge the reconfiguration stall;
+//  6. restore into a fresh engine and continue.
+//
+// A plan with no timed events (or a nil plan) delegates to RunOpts and is
+// bit-identical to it. A fault the mapping cannot be repaired around
+// (wrapping compiler.ErrInsufficient or compiler.ErrNoRoute) fails the run.
+func RunWithRecovery(m *compiler.Mapping, opts Options) (*Result, *dhdl.State, error) {
+	events := m.Faults.Events()
+	if len(events) == 0 {
+		return RunOpts(m, opts)
+	}
+	t0 := time.Now()
+	eng, st, err := prepare(m, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	plan := m.Faults
+	rec := &RecoveryStats{}
+	for _, ev := range events {
+		finished, err := eng.runUntil(ev.Cycle)
+		if err != nil {
+			return nil, nil, err
+		}
+		if finished {
+			break // the program completed before this fault could land
+		}
+		re := RecoveryEvent{Event: ev.String(), At: eng.clock}
+
+		if ev.Kind == fault.KillChan {
+			lost, err := eng.dram.KillChannel(ev.Chan, func(req *dram.Request) {
+				actID, burst := splitTag(req.Tag)
+				for _, rx := range eng.running {
+					if rx.act.id == actID {
+						rx.inFlight--
+						rx.requeue = append(rx.requeue, burst)
+						return
+					}
+				}
+			})
+			if err != nil {
+				return nil, nil, fmt.Errorf("sim: recovery at cycle %d: %s: %w", eng.clock, ev, err)
+			}
+			re.LostBursts = lost
+		}
+		if err := plan.Extend(ev); err != nil {
+			return nil, nil, fmt.Errorf("sim: recovery at cycle %d: %s: %w", eng.clock, ev, err)
+		}
+
+		_, drain, err := eng.drainInFlight()
+		if err != nil {
+			return nil, nil, fmt.Errorf("sim: recovery at cycle %d: %s: drain: %w", eng.clock, ev, err)
+		}
+		re.DrainCycles = drain
+
+		enc := eng.checkpoint().Encode()
+		re.CheckpointBytes = len(enc)
+		cp, err := DecodeCheckpoint(enc)
+		if err != nil {
+			return nil, nil, fmt.Errorf("sim: recovery at cycle %d: %s: %w", eng.clock, ev, err)
+		}
+
+		if ev.Kind != fault.KillChan {
+			rep, err := compiler.Repair(m, plan)
+			if err != nil {
+				return nil, nil, fmt.Errorf("sim: recovery at cycle %d: %s: %w", eng.clock, ev, err)
+			}
+			re.MovedPCUs, re.MovedPMUs = rep.MovedPCUs, rep.MovedPMUs
+			re.ReroutedEdges, re.FullRecompile = rep.ReroutedEdges, rep.FullRecompile
+			re.ReconfigCycles = m.Params.ReconfigCycles(rep.MovedPCUs, rep.MovedPMUs, rep.ReroutedEdges)
+		}
+
+		// The fabric stalls for the reconfiguration; everything resumes on
+		// the shifted clock. The memory system idles through the stall, so
+		// its internal time (and refresh schedule) shifts with it.
+		cp.Clock += re.ReconfigCycles
+		cp.LastProgressAt = cp.Clock
+		if cp.DRAM != nil {
+			cp.DRAM.Now += re.ReconfigCycles
+			cp.DRAM.NextRefresh += re.ReconfigCycles
+		}
+		fresh := &engine{acts: eng.acts, dram: eng.dram,
+			maxCycles: eng.maxCycles, stallWindow: eng.stallWindow}
+		if err := fresh.restore(cp); err != nil {
+			return nil, nil, fmt.Errorf("sim: recovery at cycle %d: %s: %w", eng.clock, ev, err)
+		}
+		eng = fresh
+
+		rec.Events = append(rec.Events, re)
+		rec.DrainCycles += re.DrainCycles
+		rec.ReconfigCycles += re.ReconfigCycles
+		rec.LostBursts += re.LostBursts
+	}
+	cycles, err := eng.run()
+	if err != nil {
+		return nil, nil, err
+	}
+	res := buildResult(m, eng, cycles, t0)
+	res.Recovery = rec
+	return res, st, nil
+}

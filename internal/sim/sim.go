@@ -24,6 +24,10 @@ type Result struct {
 	// Activities and barriers in the timed graph (diagnostics).
 	Activities int
 
+	// Recovery is the per-event overhead breakdown when the run survived
+	// timed mid-run faults (nil on uninterrupted runs).
+	Recovery *RecoveryStats
+
 	// WallTime is host time spent simulating.
 	WallTime time.Duration
 }
@@ -85,9 +89,14 @@ func Run(m *compiler.Mapping) (*Result, *dhdl.State, error) {
 	return RunOpts(m, Options{})
 }
 
-// RunOpts is Run with ablation options.
-func RunOpts(m *compiler.Mapping, opts Options) (*Result, *dhdl.State, error) {
-	t0 := time.Now()
+// prepare runs the functional trace, builds the timed activity graph, and
+// constructs the memory system — everything up to (but excluding) advancing
+// the clock. RunOpts and RunWithRecovery share it, so the uninterrupted and
+// recovering paths simulate the identical graph against the identical DRAM.
+// The trace mutates the program's bound collections in place, so prepare
+// must run exactly once per simulation; recovery restores into the graph it
+// built rather than re-tracing.
+func prepare(m *compiler.Mapping, opts Options) (*engine, *dhdl.State, error) {
 	b := newBuilder(m)
 	if opts.CoalesceWindow > 0 {
 		b.coalesceWindow = opts.CoalesceWindow
@@ -110,19 +119,19 @@ func RunOpts(m *compiler.Mapping, opts Options) (*Result, *dhdl.State, error) {
 	if err := ddr.InjectFaults(faults); err != nil {
 		return nil, nil, err
 	}
-	eng := &engine{acts: b.acts, dram: ddr,
-		maxCycles: opts.MaxCycles, stallWindow: opts.StallWindow}
-	cycles, err := eng.run()
-	if err != nil {
-		return nil, nil, err
-	}
+	return &engine{acts: b.acts, dram: ddr,
+		maxCycles: opts.MaxCycles, stallWindow: opts.StallWindow}, st, nil
+}
+
+// buildResult assembles the Result for a finished engine.
+func buildResult(m *compiler.Mapping, e *engine, cycles int64, t0 time.Time) *Result {
 	clockHz := float64(m.Params.Chip.ClockMHz) * 1e6
 	res := &Result{
 		Cycles:     cycles,
 		Seconds:    float64(cycles) / clockHz,
-		DRAM:       ddr.Stats(),
+		DRAM:       e.dram.Stats(),
 		Util:       m.Util,
-		Activities: len(b.acts),
+		Activities: len(e.acts),
 		WallTime:   time.Since(t0),
 	}
 	res.PowerW = arch.Power(m.Params, arch.Activity{
@@ -131,5 +140,19 @@ func RunOpts(m *compiler.Mapping, opts Options) (*Result, *dhdl.State, error) {
 		AGUtil:  m.Util.AGFrac,
 		FUUtil:  m.Util.FUFrac,
 	})
-	return res, st, nil
+	return res
+}
+
+// RunOpts is Run with ablation options.
+func RunOpts(m *compiler.Mapping, opts Options) (*Result, *dhdl.State, error) {
+	t0 := time.Now()
+	eng, st, err := prepare(m, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	cycles, err := eng.run()
+	if err != nil {
+		return nil, nil, err
+	}
+	return buildResult(m, eng, cycles, t0), st, nil
 }
