@@ -4,6 +4,8 @@
 //	plasticine info              architecture summary, area, power envelope
 //	plasticine list              the thirteen Table 4 benchmarks
 //	plasticine run <benchmark>   compile + simulate one benchmark
+//	plasticine profile -bench b  cycle-level profile with stall attribution
+//	plasticine bench [-json]     simulator throughput (BENCH_sim.json)
 //	plasticine resilience <b>    degradation sweep under injected faults
 //	plasticine table3            parameter selection (Section 3.7)
 //	plasticine table5            area breakdown
@@ -41,6 +43,10 @@ func main() {
 		err = cmdList()
 	case "run":
 		err = cmdRun(args)
+	case "profile":
+		err = cmdProfile(args)
+	case "bench":
+		err = cmdBench(args)
 	case "resilience":
 		err = cmdResilience(args)
 	case "recovery":
@@ -83,6 +89,15 @@ commands:
                     optionally under an injected fault plan; -events adds
                     timed mid-run faults (kill-pcu@N,kill-pmu@N,kill-sw@N,
                     kill-chan@N) survived via checkpoint/repair/resume
+  profile -bench <name> [-events list] [-faults spec] [-trace path] [-counters path]
+                    cycle-level profile: per-unit busy/stall/idle accounting
+                    with stall causes, DRAM channel and link utilization and
+                    the named bottleneck; writes a Chrome trace-event JSON
+                    (chrome://tracing) and a flat counters JSON
+  bench [-json] [benchmark ...]
+                    simulator throughput (simulated cycles vs host wall
+                    time); -json writes BENCH_sim.json (schema in
+                    EXPERIMENTS.md)
   resilience <benchmark> [-seed N] [-spike P] [-retry P]
                     makespan degradation vs fraction of disabled tiles,
                     optionally on a memory system with latency spikes
@@ -137,25 +152,11 @@ func cmdRun(args []string) error {
 		return err
 	}
 	sys := core.New()
-	var plan *fault.Plan
-	if *faultSpec != "" || *events != "" {
-		spec, err := fault.ParseSpec(*faultSpec)
-		if err != nil {
-			return err
-		}
-		evSpec, err := fault.ParseSpec(*events)
-		if err != nil {
-			return err
-		}
-		if evSpec.PCUs != 0 || evSpec.PMUs != 0 || evSpec.Switches != 0 || evSpec.Chans != 0 ||
-			evSpec.SpikeProb != 0 || evSpec.TransientProb != 0 {
-			return fmt.Errorf("usage: plasticine run: -events takes only kill-<kind>@<cycle> terms; put static faults in -faults")
-		}
-		spec.Events = append(spec.Events, evSpec.Events...)
-		plan, err = fault.NewPlan(spec, sys.Params)
-		if err != nil {
-			return err
-		}
+	plan, err := buildPlan(*faultSpec, *events, sys.Params)
+	if err != nil {
+		return err
+	}
+	if plan != nil {
 		fmt.Printf("fault plan: %s\n", plan)
 	}
 	r, err := sys.RunBenchmarkOpts(b, plan, sim.Options{MaxCycles: *budget})
@@ -181,6 +182,109 @@ func cmdRun(args []string) error {
 			fmt.Printf("    %s at cycle %d: drain %d, checkpoint %d B, moved %d PCU / %d PMU, %d rerouted, reconfig %d\n",
 				e.Event, e.At, e.DrainCycles, e.CheckpointBytes, e.MovedPCUs, e.MovedPMUs, e.ReroutedEdges, e.ReconfigCycles)
 		}
+	}
+	return nil
+}
+
+// buildPlan parses -faults and -events flags into a fault plan; both empty
+// yields a nil (pristine) plan. -events may only carry timed kill terms.
+func buildPlan(faultSpec, events string, params arch.Params) (*fault.Plan, error) {
+	if faultSpec == "" && events == "" {
+		return nil, nil
+	}
+	spec, err := fault.ParseSpec(faultSpec)
+	if err != nil {
+		return nil, err
+	}
+	evSpec, err := fault.ParseSpec(events)
+	if err != nil {
+		return nil, err
+	}
+	if evSpec.PCUs != 0 || evSpec.PMUs != 0 || evSpec.Switches != 0 || evSpec.Chans != 0 ||
+		evSpec.SpikeProb != 0 || evSpec.TransientProb != 0 {
+		return nil, fmt.Errorf("-events takes only kill-<kind>@<cycle> terms; put static faults in -faults")
+	}
+	spec.Events = append(spec.Events, evSpec.Events...)
+	return fault.NewPlan(spec, params)
+}
+
+func cmdProfile(args []string) error {
+	fs := flag.NewFlagSet("profile", flag.ContinueOnError)
+	bench := fs.String("bench", "", "benchmark to profile (see plasticine list)")
+	faultSpec := fs.String("faults", "", "fault plan, e.g. seed=1,pcu=4,retry=0.001")
+	events := fs.String("events", "", "timed mid-run faults, e.g. kill-pcu@5000,kill-chan@12000")
+	tracePath := fs.String("trace", "", "Chrome trace-event JSON output path (default <bench>_trace.json; \"\" after -bench keeps the default, \"none\" disables)")
+	countersPath := fs.String("counters", "", "flat counters JSON output path (default <bench>_counters.json; \"none\" disables)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	name := *bench
+	if name == "" && fs.NArg() == 1 {
+		name = fs.Arg(0) // positional form: plasticine profile <benchmark>
+	}
+	if name == "" || (fs.NArg() > 0 && *bench != "") || fs.NArg() > 1 {
+		return fmt.Errorf("usage: plasticine profile -bench <name> [-events list] [-faults spec] [-trace path] [-counters path]")
+	}
+	b, err := workloads.ByName(name)
+	if err != nil {
+		return err
+	}
+	sys := core.New()
+	plan, err := buildPlan(*faultSpec, *events, sys.Params)
+	if err != nil {
+		return err
+	}
+	if plan != nil {
+		fmt.Printf("fault plan: %s\n", plan)
+	}
+	p, err := sys.ProfileBenchmark(b, plan, sim.Options{})
+	if err != nil {
+		return err
+	}
+	fmt.Print(core.FormatProfile(p.Report))
+	write := func(path, fallback string, gen func() ([]byte, error), what string) error {
+		if path == "none" {
+			return nil
+		}
+		if path == "" {
+			path = fallback
+		}
+		data, err := gen()
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s to %s (%d bytes)\n", what, path, len(data))
+		return nil
+	}
+	if err := write(*tracePath, name+"_trace.json", p.ChromeTrace, "chrome trace"); err != nil {
+		return err
+	}
+	return write(*countersPath, name+"_counters.json", p.CountersJSON, "counters")
+}
+
+func cmdBench(args []string) error {
+	fs := flag.NewFlagSet("bench", flag.ContinueOnError)
+	asJSON := fs.Bool("json", false, "also write BENCH_sim.json (schema in EXPERIMENTS.md)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	results, err := core.New().BenchSims(fs.Args())
+	if err != nil {
+		return err
+	}
+	fmt.Print(core.FormatBench(results))
+	if *asJSON {
+		data, err := core.BenchJSON(results)
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile("BENCH_sim.json", data, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote BENCH_sim.json (%d bytes)\n", len(data))
 	}
 	return nil
 }

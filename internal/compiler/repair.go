@@ -11,9 +11,9 @@ import (
 // RepairReport counts what a mapping repair changed, for recovery-overhead
 // accounting (the reconfiguration cost scales with these numbers).
 type RepairReport struct {
-	MovedPCUs     int // PCU netlist nodes re-placed off newly dead tiles
-	MovedPMUs     int // PMU netlist nodes re-placed off newly dead tiles
-	ReroutedEdges int // routes patched around dead switches or moved units
+	MovedPCUs     int  // PCU netlist nodes re-placed off newly dead tiles
+	MovedPMUs     int  // PMU netlist nodes re-placed off newly dead tiles
+	ReroutedEdges int  // routes patched around dead switches or moved units
 	FullRecompile bool // incremental repair failed; the whole mapping was redone
 }
 
@@ -173,7 +173,7 @@ func patchRoutes(m *Mapping, plan *fault.Plan, moved map[int]bool, rep *RepairRe
 		if moved[r.From] || moved[r.To] {
 			return true
 		}
-		for _, h := range r.Hops[1 : max(len(r.Hops)-1, 1)] {
+		for _, h := range r.Hops[1:max(len(r.Hops)-1, 1)] {
 			if plan.SwitchDisabled(h[0], h[1]) {
 				return true
 			}

@@ -85,6 +85,10 @@ type BenchResult struct {
 	// Recovery is the mid-run fault-survival breakdown (nil unless the
 	// fault plan scheduled timed events that fired).
 	Recovery *sim.RecoveryStats `json:",omitempty"`
+
+	// SimWallSec is host time spent simulating (simulator throughput, not a
+	// modelled quantity).
+	SimWallSec float64 `json:",omitempty"`
 }
 
 // RunBenchmark executes one Table 4 benchmark end to end, checks its
@@ -146,6 +150,7 @@ func (s *System) RunBenchmarkOpts(b workloads.Benchmark, plan *fault.Plan, opts 
 		RetriesExhausted: res.DRAM.RetriesExhausted,
 		LatencySpikes:    res.DRAM.LatencySpikes,
 		Recovery:         res.Recovery,
+		SimWallSec:       res.WallTime.Seconds(),
 	}
 	if res.Seconds > 0 {
 		r.Speedup = fpgaTime / res.Seconds

@@ -95,6 +95,19 @@ type Stats struct {
 	StallsChannelDown int64 // submissions rejected with every channel down
 }
 
+// ChanStats is one channel's share of the activity counters — the
+// per-channel view the observability layer needs to show bank-conflict and
+// row-hit imbalance across channels (e.g. after a kill-chan remap piles two
+// channels' traffic onto one).
+type ChanStats struct {
+	Reads, Writes int64
+	RowHits       int64
+	RowMisses     int64
+	RowConflicts  int64
+	Retries       int64
+	MaxQueueOcc   int
+}
+
 // AvgLatency returns the mean request latency in cycles.
 func (s Stats) AvgLatency() float64 {
 	n := s.Reads + s.Writes
@@ -110,6 +123,7 @@ type DRAM struct {
 	channels    []channel
 	pending     []completion
 	stats       Stats
+	chanStats   []ChanStats
 	now         int64
 	nextRefresh int64
 
@@ -128,7 +142,7 @@ type completion struct {
 // New creates a memory system.
 func New(cfg Config) *DRAM {
 	d := &DRAM{cfg: cfg, channels: make([]channel, cfg.Channels),
-		nextRefresh: int64(cfg.TREFI)}
+		chanStats: make([]ChanStats, cfg.Channels), nextRefresh: int64(cfg.TREFI)}
 	for i := range d.channels {
 		d.channels[i].banks = make([]bank, cfg.BanksPerChan)
 		for b := range d.channels[i].banks {
@@ -146,6 +160,12 @@ func (d *DRAM) Config() Config { return d.cfg }
 
 // Stats returns a snapshot of activity counters.
 func (d *DRAM) Stats() Stats { return d.stats }
+
+// ChannelStats returns a copy of the per-channel activity counters,
+// indexed by channel.
+func (d *DRAM) ChannelStats() []ChanStats {
+	return append([]ChanStats(nil), d.chanStats...)
+}
 
 // channelOf maps an address to a channel: burst-granularity interleaving
 // spreads consecutive bursts across channels. Under a fault plan, traffic
@@ -191,6 +211,9 @@ func (d *DRAM) Submit(r *Request) bool {
 	ch.queue = append(ch.queue, r)
 	if occ := len(ch.queue); occ > d.stats.MaxQueueOcc {
 		d.stats.MaxQueueOcc = occ
+	}
+	if occ := len(ch.queue); occ > d.chanStats[ci].MaxQueueOcc {
+		d.chanStats[ci].MaxQueueOcc = occ
 	}
 	return true
 }
@@ -244,12 +267,19 @@ func (d *DRAM) Tick(now int64) {
 
 func (d *DRAM) finish(r *Request, now int64) {
 	d.stats.TotalLatency += now - r.issued
+	ci := d.channelOf(r.Addr)
 	if r.Write {
 		d.stats.Writes++
 		d.stats.BytesWritten += int64(d.cfg.BurstBytes)
+		if ci >= 0 {
+			d.chanStats[ci].Writes++
+		}
 	} else {
 		d.stats.Reads++
 		d.stats.BytesRead += int64(d.cfg.BurstBytes)
+		if ci >= 0 {
+			d.chanStats[ci].Reads++
+		}
 	}
 	if r.Done != nil {
 		r.Done(now)
@@ -292,12 +322,15 @@ func (d *DRAM) schedule(ci int, now int64) {
 	switch {
 	case bk.openRow == row:
 		d.stats.RowHits++
+		d.chanStats[ci].RowHits++
 		accessLatency = int64(d.cfg.TCAS)
 	case bk.openRow == -1:
 		d.stats.RowMisses++
+		d.chanStats[ci].RowMisses++
 		accessLatency = int64(d.cfg.TRCD + d.cfg.TCAS)
 	default:
 		d.stats.RowConflicts++
+		d.chanStats[ci].RowConflicts++
 		accessLatency = int64(d.cfg.TRP + d.cfg.TRCD + d.cfg.TCAS)
 	}
 	bk.openRow = row

@@ -125,6 +125,9 @@ func (d *DRAM) maybeRetry(r *Request, now int64) bool {
 	}
 	r.attempts++
 	d.stats.Retries++
+	if ci := d.channelOf(r.Addr); ci >= 0 {
+		d.chanStats[ci].Retries++
+	}
 	backoff := int64(f.RetryBackoff) << (r.attempts - 1)
 	d.retryq = append(d.retryq, completion{at: now + backoff, req: r})
 	return true
@@ -161,6 +164,9 @@ func (d *DRAM) resubmit(r *Request) bool {
 	ch.queue = append(ch.queue, r)
 	if occ := len(ch.queue); occ > d.stats.MaxQueueOcc {
 		d.stats.MaxQueueOcc = occ
+	}
+	if occ := len(ch.queue); occ > d.chanStats[ci].MaxQueueOcc {
+		d.chanStats[ci].MaxQueueOcc = occ
 	}
 	return true
 }

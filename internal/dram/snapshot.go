@@ -49,6 +49,7 @@ type MemState struct {
 	NextRefresh int64
 	RNG         uint64
 	Stats       Stats
+	Chans       []ChanStats // per-channel counters, indexed by channel
 
 	Banks   []BankState // Channels * BanksPerChan, channel-major
 	BusFree []int64     // per channel
@@ -72,6 +73,7 @@ func (d *DRAM) Snapshot() *MemState {
 		NextRefresh: d.nextRefresh,
 		RNG:         d.rng.state,
 		Stats:       d.stats,
+		Chans:       append([]ChanStats(nil), d.chanStats...),
 		Queued:      make([][]ReqState, len(d.channels)),
 	}
 	for ci := range d.channels {
@@ -109,6 +111,9 @@ func (d *DRAM) Restore(st *MemState, done func(tag int64) func(now int64)) error
 	if len(st.Queued) != d.cfg.Channels {
 		return fmt.Errorf("dram: snapshot has %d queues, config wants %d", len(st.Queued), d.cfg.Channels)
 	}
+	if len(st.Chans) != d.cfg.Channels {
+		return fmt.Errorf("dram: snapshot has %d channel counter sets, config wants %d", len(st.Chans), d.cfg.Channels)
+	}
 	revive := func(rs ReqState) (*Request, error) {
 		r := &Request{Addr: rs.Addr, Write: rs.Write, Tag: rs.Tag,
 			issued: rs.Issued, attempts: int(rs.Attempts)}
@@ -125,6 +130,7 @@ func (d *DRAM) Restore(st *MemState, done func(tag int64) func(now int64)) error
 	d.nextRefresh = st.NextRefresh
 	d.rng.state = st.RNG
 	d.stats = st.Stats
+	copy(d.chanStats, st.Chans)
 	for ci := range d.channels {
 		ch := &d.channels[ci]
 		for b := range ch.banks {

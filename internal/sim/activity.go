@@ -37,6 +37,10 @@ const (
 type dep struct {
 	on   *activity
 	kind depKind
+	// war marks a write-after-read edge (N-buffer credit: the writer waits
+	// for readers to drain the buffer version it reuses). The observability
+	// layer attributes stalls behind such edges to output backpressure.
+	war bool
 }
 
 // activity is one leaf-controller execution (or a sequencing barrier) on
@@ -45,6 +49,10 @@ type activity struct {
 	id   int
 	kind actKind
 	leaf *dhdl.Controller // nil for barriers
+
+	// unit is the physical-unit index this activity executes on (the
+	// builder's unit table); -1 for barriers, which occupy no hardware.
+	unit int
 
 	// Compute timing.
 	dur  int64 // cycles from start to completion (firings + drain)
@@ -60,9 +68,20 @@ type activity struct {
 
 	start, end int64
 	resolved   bool
+
+	// Observability counters, copied from the running transfer at retire
+	// time: cycles the AG actually issued or landed bursts, and the
+	// outstanding-burst FIFO's occupancy peak.
+	busy    int64
+	hiWater int32
 }
 
-func (a *activity) addDep(on *activity, k depKind) {
+func (a *activity) addDep(on *activity, k depKind) { a.addDepTagged(on, k, false) }
+
+// addDepWAR records a write-after-read (N-buffer credit) dependency.
+func (a *activity) addDepWAR(on *activity) { a.addDepTagged(on, endToStart, true) }
+
+func (a *activity) addDepTagged(on *activity, k depKind, war bool) {
 	if on == nil || on == a {
 		return
 	}
@@ -73,7 +92,7 @@ func (a *activity) addDep(on *activity, k depKind) {
 			return
 		}
 	}
-	a.deps = append(a.deps, dep{on, k})
+	a.deps = append(a.deps, dep{on, k, war})
 	if !on.resolved {
 		a.nDepsLeft++
 		on.dependents = append(on.dependents, a)

@@ -2,12 +2,23 @@ package sim
 
 import (
 	"fmt"
+	"strings"
 
 	"plasticine/internal/compiler"
 	"plasticine/internal/dhdl"
+	"plasticine/internal/trace"
 )
 
 const burstBytes = 64
+
+// simUnit is one physical unit the builder discovered: an unroll copy-lane of
+// a compute leaf (a PCU pipeline) or of a transfer leaf (an AG + coalescing
+// unit). Activities carry the unit's index; the observability layer replays
+// per-unit timelines from it.
+type simUnit struct {
+	name string
+	kind trace.UnitKind
+}
 
 // builder consumes traced execution events and grows the activity graph.
 type builder struct {
@@ -38,6 +49,11 @@ type builder struct {
 
 	// Static access sets per leaf.
 	reads, writes map[*dhdl.Controller][]any
+
+	// Physical-unit registry: one entry per distinct unit key, in discovery
+	// order. Activities store indices into units.
+	units  []simUnit
+	unitOf map[string]int
 
 	// Coalescing-unit state survives across sparse transfers of the same
 	// leaf only; a fresh cache per activity is a close, simpler model.
@@ -71,6 +87,7 @@ func newBuilder(m *compiler.Mapping) *builder {
 		seq:            map[string]*seqState{},
 		reads:          map[*dhdl.Controller][]any{},
 		writes:         map[*dhdl.Controller][]any{},
+		unitOf:         map[string]int{},
 		coalesceWindow: 64,
 	}
 	var addr uint64 = 1 << 20 // leave page 0 unmapped
@@ -83,9 +100,33 @@ func newBuilder(m *compiler.Mapping) *builder {
 }
 
 func (b *builder) newActivity(k actKind, leaf *dhdl.Controller) *activity {
-	a := &activity{id: len(b.acts), kind: k, leaf: leaf}
+	a := &activity{id: len(b.acts), kind: k, leaf: leaf, unit: -1}
 	b.acts = append(b.acts, a)
 	return a
+}
+
+// unitIndex resolves a unit key to its registry index, registering it on
+// first sight. The display name is the leaf's name plus the copy-lane suffix
+// ("#0.1" = lane positions at each parallelized level) when the leaf is
+// unrolled onto duplicate units.
+func (b *builder) unitIndex(ev *dhdl.ExecEvent, key string) int {
+	if id, ok := b.unitOf[key]; ok {
+		return id
+	}
+	kind := trace.UnitCompute
+	if ev.Ctrl.Kind != dhdl.ComputeKind {
+		kind = trace.UnitTransfer
+	}
+	name := ev.Ctrl.Name
+	if cut := strings.IndexByte(key, '|'); cut >= 0 {
+		if lanes := strings.TrimSuffix(key[cut+1:], ","); lanes != "" {
+			name += "#" + strings.ReplaceAll(lanes, ",", ".")
+		}
+	}
+	id := len(b.units)
+	b.units = append(b.units, simUnit{name: name, kind: kind})
+	b.unitOf[key] = id
+	return id
 }
 
 // handle processes one traced leaf execution.
@@ -123,6 +164,7 @@ func (b *builder) handle(ev *dhdl.ExecEvent) {
 	// Occupancy: successive executions on the same physical unit (the
 	// same unroll copy-lane of the same leaf) serialize.
 	unit := unitKey(ev)
+	a.unit = b.unitIndex(ev, unit)
 	if prev := b.lastOfLeaf[unit]; prev != nil {
 		a.addDep(prev, endToStart)
 	}
@@ -156,7 +198,7 @@ func (b *builder) handle(ev *dhdl.ExecEvent) {
 			copy(mv.readers[1:], mv.readers[:len(mv.readers)-1])
 			mv.readers[0] = nil
 			for _, r := range evicted {
-				a.addDep(r, endToStart)
+				a.addDepWAR(r)
 			}
 			mv.writers = mv.writers[:0]
 			mv.readSinceWrite = false

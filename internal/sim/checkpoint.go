@@ -17,7 +17,12 @@ var ErrBadCheckpoint = errors.New("sim: bad checkpoint")
 
 // CheckpointVersion is the current snapshot format version. Decode rejects
 // any other version.
-const CheckpointVersion = 1
+//
+// History: v1 had no observability counters; v2 adds per-activity and
+// per-running-transfer busy/high-water fields plus per-channel DRAM counters,
+// so a profile taken after a checkpoint/restore is identical to one from an
+// uninterrupted run.
+const CheckpointVersion = 2
 
 // ckptMagic opens every encoded checkpoint ("PLCK").
 const ckptMagic = 0x504C434B
@@ -27,6 +32,8 @@ type ActState struct {
 	Resolved   bool
 	NDepsLeft  int32
 	Start, End int64
+	Busy       int64 // observability: AG-busy cycles (retired transfers)
+	HiWater    int32 // observability: outstanding-burst FIFO peak
 }
 
 // RunState is one in-flight transfer's AG state in a checkpoint.
@@ -36,6 +43,9 @@ type RunState struct {
 	InFlight  int32
 	Completed int32
 	Requeue   []int32 // burst indices awaiting reissue after lost work
+	Busy      int64   // observability: AG-busy cycles so far
+	LastBusy  int64   // last cycle counted busy (-1 = none)
+	HiWater   int32   // outstanding-burst FIFO peak so far
 }
 
 // Checkpoint is a complete, deterministic snapshot of a paused simulation:
@@ -112,7 +122,8 @@ func (e *engine) checkpoint() *Checkpoint {
 	}
 	for _, a := range e.acts {
 		cp.Acts = append(cp.Acts, ActState{Resolved: a.resolved,
-			NDepsLeft: int32(a.nDepsLeft), Start: a.start, End: a.end})
+			NDepsLeft: int32(a.nDepsLeft), Start: a.start, End: a.end,
+			Busy: a.busy, HiWater: a.hiWater})
 	}
 	for _, a := range e.ready {
 		cp.Ready = append(cp.Ready, int32(a.id))
@@ -122,7 +133,8 @@ func (e *engine) checkpoint() *Checkpoint {
 	}
 	for _, rx := range e.running {
 		rs := RunState{Act: int32(rx.act.id), NextBurst: int32(rx.nextBurst),
-			InFlight: int32(rx.inFlight), Completed: int32(rx.completed)}
+			InFlight: int32(rx.inFlight), Completed: int32(rx.completed),
+			Busy: rx.busy, LastBusy: rx.lastBusy, HiWater: int32(rx.hiWater)}
 		for _, i := range rx.requeue {
 			rs.Requeue = append(rs.Requeue, int32(i))
 		}
@@ -171,6 +183,7 @@ func (e *engine) restore(cp *Checkpoint) error {
 		a.resolved = st.Resolved
 		a.nDepsLeft = int(st.NDepsLeft)
 		a.start, a.end = st.Start, st.End
+		a.busy, a.hiWater = st.Busy, st.HiWater
 	}
 	e.ready = e.ready[:0]
 	for _, id := range cp.Ready {
@@ -197,7 +210,8 @@ func (e *engine) restore(cp *Checkpoint) error {
 			return err
 		}
 		rx := &runningXfer{act: a, nextBurst: int(rs.NextBurst),
-			inFlight: int(rs.InFlight), completed: int(rs.Completed)}
+			inFlight: int(rs.InFlight), completed: int(rs.Completed),
+			busy: rs.Busy, lastBusy: rs.LastBusy, hiWater: int(rs.HiWater)}
 		if rx.nextBurst < 0 || rx.nextBurst > len(a.bursts) {
 			return fmt.Errorf("%w: transfer %d next burst %d out of range", ErrBadCheckpoint, a.id, rx.nextBurst)
 		}
@@ -220,10 +234,13 @@ func (e *engine) restore(cp *Checkpoint) error {
 			if !ok {
 				return nil // Restore turns a nil callback into an error
 			}
-			return func(int64) {
+			return func(now int64) {
 				rx.inFlight--
 				rx.completed++
 				e.bursts++
+				if e.rec != nil {
+					rx.markBusy(now)
+				}
 			}
 		})
 		if err != nil {

@@ -130,6 +130,30 @@ func decodeStats(r *rbuf) dram.Stats {
 	return s
 }
 
+func encodeChanStats(w *wbuf, c dram.ChanStats) {
+	w.i64(c.Reads)
+	w.i64(c.Writes)
+	w.i64(c.RowHits)
+	w.i64(c.RowMisses)
+	w.i64(c.RowConflicts)
+	w.i64(c.Retries)
+	w.i64(int64(c.MaxQueueOcc))
+}
+
+func decodeChanStats(r *rbuf) dram.ChanStats {
+	var c dram.ChanStats
+	c.Reads = r.i64()
+	c.Writes = r.i64()
+	c.RowHits = r.i64()
+	c.RowMisses = r.i64()
+	c.RowConflicts = r.i64()
+	c.Retries = r.i64()
+	c.MaxQueueOcc = int(r.i64())
+	return c
+}
+
+const chanStatsWireSize = 7 * 8
+
 func encodeReq(w *wbuf, q dram.ReqState) {
 	w.u64(q.Addr)
 	w.bool(q.Write)
@@ -157,6 +181,10 @@ func encodeMemState(w *wbuf, st *dram.MemState) {
 	w.i64(st.NextRefresh)
 	w.u64(st.RNG)
 	encodeStats(w, st.Stats)
+	w.u32(uint32(len(st.Chans)))
+	for _, c := range st.Chans {
+		encodeChanStats(w, c)
+	}
 	w.u32(uint32(len(st.Banks)))
 	for _, b := range st.Banks {
 		w.i64(b.OpenRow)
@@ -193,6 +221,9 @@ func decodeMemState(r *rbuf) *dram.MemState {
 	st.NextRefresh = r.i64()
 	st.RNG = r.u64()
 	st.Stats = decodeStats(r)
+	for i, n := 0, r.count("channel counters", chanStatsWireSize); i < n && r.err == nil; i++ {
+		st.Chans = append(st.Chans, decodeChanStats(r))
+	}
 	for i, n := 0, r.count("bank", 16); i < n && r.err == nil; i++ {
 		st.Banks = append(st.Banks, dram.BankState{OpenRow: r.i64(), ReadyAt: r.i64()})
 	}
@@ -239,6 +270,8 @@ func (cp *Checkpoint) Encode() []byte {
 		w.u32(uint32(a.NDepsLeft))
 		w.i64(a.Start)
 		w.i64(a.End)
+		w.i64(a.Busy)
+		w.u32(uint32(a.HiWater))
 	}
 	w.u32(uint32(len(cp.Ready)))
 	for _, id := range cp.Ready {
@@ -254,6 +287,9 @@ func (cp *Checkpoint) Encode() []byte {
 		w.u32(uint32(rs.NextBurst))
 		w.u32(uint32(rs.InFlight))
 		w.u32(uint32(rs.Completed))
+		w.i64(rs.Busy)
+		w.i64(rs.LastBusy)
+		w.u32(uint32(rs.HiWater))
 		w.u32(uint32(len(rs.Requeue)))
 		for _, i := range rs.Requeue {
 			w.u32(uint32(i))
@@ -294,9 +330,10 @@ func DecodeCheckpoint(data []byte) (*Checkpoint, error) {
 	cp.LastResolved = int32(r.u32())
 	cp.LastBursts = r.i64()
 	cp.LastProgressAt = r.i64()
-	for i, n := 0, r.count("activity", 21); i < n && r.err == nil; i++ {
+	for i, n := 0, r.count("activity", 33); i < n && r.err == nil; i++ {
 		cp.Acts = append(cp.Acts, ActState{Resolved: r.bool(),
-			NDepsLeft: int32(r.u32()), Start: r.i64(), End: r.i64()})
+			NDepsLeft: int32(r.u32()), Start: r.i64(), End: r.i64(),
+			Busy: r.i64(), HiWater: int32(r.u32())})
 	}
 	for i, n := 0, r.count("ready", 4); i < n && r.err == nil; i++ {
 		cp.Ready = append(cp.Ready, int32(r.u32()))
@@ -304,9 +341,10 @@ func DecodeCheckpoint(data []byte) (*Checkpoint, error) {
 	for i, n := 0, r.count("waiting", 4); i < n && r.err == nil; i++ {
 		cp.Waiting = append(cp.Waiting, int32(r.u32()))
 	}
-	for i, n := 0, r.count("running transfer", 20); i < n && r.err == nil; i++ {
+	for i, n := 0, r.count("running transfer", 40); i < n && r.err == nil; i++ {
 		rs := RunState{Act: int32(r.u32()), NextBurst: int32(r.u32()),
-			InFlight: int32(r.u32()), Completed: int32(r.u32())}
+			InFlight: int32(r.u32()), Completed: int32(r.u32()),
+			Busy: r.i64(), LastBusy: r.i64(), HiWater: int32(r.u32())}
 		for j, m := 0, r.count("requeued burst", 4); j < m && r.err == nil; j++ {
 			rs.Requeue = append(rs.Requeue, int32(r.u32()))
 		}

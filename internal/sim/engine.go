@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"plasticine/internal/dram"
+	"plasticine/internal/trace"
 )
 
 // agOutstanding is the number of in-flight bursts one transfer's address
@@ -25,6 +26,21 @@ type runningXfer struct {
 	// fault (e.g. a killed DRAM channel) and must be reissued. act.bursts is
 	// never mutated, so the graph fingerprint stays valid across recovery.
 	requeue []int
+
+	// Observability (tracked only when a trace.Recorder is armed): cycles on
+	// which the AG issued or landed at least one burst, deduplicated through
+	// lastBusy, plus the outstanding-burst FIFO's occupancy peak.
+	busy     int64
+	lastBusy int64
+	hiWater  int
+}
+
+// markBusy counts the current cycle as busy, at most once per cycle.
+func (rx *runningXfer) markBusy(now int64) {
+	if now != rx.lastBusy {
+		rx.busy++
+		rx.lastBusy = now
+	}
 }
 
 type startHeap []*activity
@@ -47,6 +63,13 @@ type engine struct {
 	acts  []*activity
 	dram  *dram.DRAM
 	clock int64
+
+	// Observability: units is the builder's physical-unit registry; rec, when
+	// non-nil, arms the per-transfer busy/high-water counters. Everything
+	// else the Recorder needs is replayed from the resolved graph after the
+	// run (see emitTrace), so a nil rec leaves the hot loop unchanged.
+	units []simUnit
+	rec   trace.Recorder
 
 	// Watchdog: maxCycles is the total cycle budget (0 = unlimited);
 	// stallWindow aborts when no forward progress happens for that many
@@ -142,10 +165,13 @@ func (e *engine) issueBursts() {
 			}
 			rxc := rx
 			req := &dram.Request{Addr: rx.act.bursts[idx], Write: rx.act.write,
-				Tag: burstTag(rx.act.id, idx), Done: func(int64) {
+				Tag: burstTag(rx.act.id, idx), Done: func(now int64) {
 					rxc.inFlight--
 					rxc.completed++
 					e.bursts++
+					if e.rec != nil {
+						rxc.markBusy(now)
+					}
 				}}
 			if !e.dram.Submit(req) {
 				break // channel queue full; retry next cycle
@@ -156,6 +182,12 @@ func (e *engine) issueBursts() {
 				rx.nextBurst++
 			}
 			rx.inFlight++
+			if e.rec != nil {
+				rx.markBusy(e.clock)
+				if rx.inFlight > rx.hiWater {
+					rx.hiWater = rx.inFlight
+				}
+			}
 		}
 	}
 }
@@ -165,6 +197,7 @@ func (e *engine) retire() {
 	kept := e.running[:0]
 	for _, rx := range e.running {
 		if rx.completed == len(rx.act.bursts) {
+			rx.act.busy, rx.act.hiWater = rx.busy, int32(rx.hiWater)
 			e.resolve(rx.act, rx.act.start, e.clock+rx.act.fill)
 		} else {
 			kept = append(kept, rx)
@@ -219,7 +252,7 @@ func (e *engine) runUntil(stopAt int64) (bool, error) {
 		}
 		for len(e.waiting) > 0 && e.waiting[0].start <= e.clock {
 			a := heap.Pop(&e.waiting).(*activity)
-			e.running = append(e.running, &runningXfer{act: a})
+			e.running = append(e.running, &runningXfer{act: a, lastBusy: -1})
 			e.lastProgressAt = e.clock // admission is forward progress
 		}
 		e.issueBursts()

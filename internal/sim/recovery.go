@@ -141,6 +141,7 @@ func RunWithRecovery(m *compiler.Mapping, opts Options) (*Result, *dhdl.State, e
 			cp.DRAM.NextRefresh += re.ReconfigCycles
 		}
 		fresh := &engine{acts: eng.acts, dram: eng.dram,
+			units: eng.units, rec: eng.rec,
 			maxCycles: eng.maxCycles, stallWindow: eng.stallWindow}
 		if err := fresh.restore(cp); err != nil {
 			return nil, nil, fmt.Errorf("sim: recovery at cycle %d: %s: %w", eng.clock, ev, err)
@@ -156,6 +157,7 @@ func RunWithRecovery(m *compiler.Mapping, opts Options) (*Result, *dhdl.State, e
 	if err != nil {
 		return nil, nil, err
 	}
+	eng.emitTrace(m, recoveryWindows(rec))
 	res := buildResult(m, eng, cycles, t0)
 	res.Recovery = rec
 	return res, st, nil

@@ -8,6 +8,7 @@ import (
 	"plasticine/internal/compiler"
 	"plasticine/internal/dhdl"
 	"plasticine/internal/dram"
+	"plasticine/internal/trace"
 )
 
 // Result summarises one simulated program run.
@@ -79,6 +80,11 @@ type Options struct {
 	// completed burst, or admitted transfer) happens for this many cycles.
 	// 0 uses the built-in default; negative disables the stall detector.
 	StallWindow int64
+
+	// Recorder receives the run's observability events (per-unit slices with
+	// stall attribution, link traffic, DRAM channel counters). Nil disables
+	// tracing at zero cost; see internal/trace.
+	Recorder trace.Recorder
 }
 
 // Run simulates a compiled program. All of the program's DRAM buffers must
@@ -119,7 +125,7 @@ func prepare(m *compiler.Mapping, opts Options) (*engine, *dhdl.State, error) {
 	if err := ddr.InjectFaults(faults); err != nil {
 		return nil, nil, err
 	}
-	return &engine{acts: b.acts, dram: ddr,
+	return &engine{acts: b.acts, dram: ddr, units: b.units, rec: opts.Recorder,
 		maxCycles: opts.MaxCycles, stallWindow: opts.StallWindow}, st, nil
 }
 
@@ -154,5 +160,6 @@ func RunOpts(m *compiler.Mapping, opts Options) (*Result, *dhdl.State, error) {
 	if err != nil {
 		return nil, nil, err
 	}
+	eng.emitTrace(m, nil)
 	return buildResult(m, eng, cycles, t0), st, nil
 }

@@ -3,7 +3,10 @@ package sim
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"strings"
+
+	"plasticine/internal/trace"
 )
 
 // ErrWatchdog is wrapped by every simulator abort: cycle-budget overruns,
@@ -36,10 +39,19 @@ type StuckTransfer struct {
 	InFlight  int // bursts submitted and not yet completed
 }
 
+// StalledUnit is one physical unit in the watchdog's livelock dump: how long
+// it has gone without completing work and what its next activity is waiting
+// on (the observability layer's stall taxonomy).
+type StalledUnit struct {
+	Name       string
+	StalledFor int64  // cycles since the unit last finished an activity
+	Cause      string // dominant stall cause, e.g. "dram-wait"
+}
+
 // WatchdogError is the structured diagnostic the engine returns when it
 // aborts a run: what tripped, how far the schedule got, which activities
-// are stuck, which transfers are mid-flight, and how full each DRAM
-// channel queue is.
+// are stuck, which transfers are mid-flight, how full each DRAM channel
+// queue is, and which units have been stalled longest.
 type WatchdogError struct {
 	Reason     string
 	Cycle      int64
@@ -48,6 +60,7 @@ type WatchdogError struct {
 	Stuck      []StuckActivity
 	InFlight   []StuckTransfer
 	DRAMQueues []int // per-channel request-queue occupancy
+	TopStalled []StalledUnit
 }
 
 func (e *WatchdogError) Unwrap() error { return ErrWatchdog }
@@ -79,6 +92,12 @@ func (e *WatchdogError) Error() string {
 	}
 	if len(e.DRAMQueues) > 0 {
 		fmt.Fprintf(&b, "\n  DRAM queue occupancy: %v", e.DRAMQueues)
+	}
+	if len(e.TopStalled) > 0 {
+		b.WriteString("\n  most-stalled units:")
+		for _, u := range e.TopStalled {
+			fmt.Fprintf(&b, " %s[%s for %d cycles]", u.Name, u.Cause, u.StalledFor)
+		}
 	}
 	return b.String()
 }
@@ -121,5 +140,67 @@ func (e *engine) diagnostic(reason string) *WatchdogError {
 			ID: a.id, Name: actLabel(a), Kind: kindName(a.kind), DepsLeft: a.nDepsLeft,
 		})
 	}
+	w.TopStalled = e.topStalled(5)
 	return w
+}
+
+// topStalled ranks physical units by how long they have gone without
+// completing an activity, attributing each to the stall cause of its next
+// pending activity: a transfer mid-flight is a DRAM wait; otherwise the
+// first unsatisfied dependency classifies it (see depCause). Units whose
+// work is all resolved are not stalled and are skipped.
+func (e *engine) topStalled(max int) []StalledUnit {
+	if len(e.units) == 0 {
+		return nil
+	}
+	lastEnd := make([]int64, len(e.units))
+	next := make([]*activity, len(e.units))
+	running := make(map[int]bool, len(e.running))
+	for _, rx := range e.running {
+		running[rx.act.id] = true
+	}
+	for _, a := range e.acts {
+		if a.unit < 0 || a.unit >= len(e.units) {
+			continue
+		}
+		if a.resolved {
+			if a.end > lastEnd[a.unit] {
+				lastEnd[a.unit] = a.end
+			}
+		} else if next[a.unit] == nil || a.id < next[a.unit].id {
+			next[a.unit] = a
+		}
+	}
+	var out []StalledUnit
+	for u, a := range next {
+		if a == nil {
+			continue
+		}
+		cause := trace.CauseInputStarved
+		if running[a.id] {
+			cause = trace.CauseDRAMWait
+		} else {
+			for i := range a.deps {
+				if !a.deps[i].on.resolved {
+					cause = depCause(a.deps[i])
+					break
+				}
+			}
+		}
+		stalled := e.clock - lastEnd[u]
+		if stalled < 0 {
+			stalled = 0
+		}
+		out = append(out, StalledUnit{Name: e.units[u].name, StalledFor: stalled, Cause: cause.String()})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].StalledFor != out[j].StalledFor {
+			return out[i].StalledFor > out[j].StalledFor
+		}
+		return out[i].Name < out[j].Name
+	})
+	if len(out) > max {
+		out = out[:max]
+	}
+	return out
 }

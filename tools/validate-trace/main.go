@@ -1,0 +1,36 @@
+// Command validate-trace checks that an emitted Chrome trace file is
+// parseable JSON with monotonic timestamps (the invariants chrome://tracing
+// and Perfetto rely on). It is the CI profile-smoke gate.
+//
+//	go run ./tools/validate-trace <bench>_trace.json...
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"plasticine/internal/trace"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: validate-trace <trace.json>...")
+		os.Exit(2)
+	}
+	bad := false
+	for _, path := range os.Args[1:] {
+		data, err := os.ReadFile(path)
+		if err == nil {
+			err = trace.ValidateChrome(data)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "validate-trace: %s: %v\n", path, err)
+			bad = true
+			continue
+		}
+		fmt.Printf("%s: ok\n", path)
+	}
+	if bad {
+		os.Exit(1)
+	}
+}
