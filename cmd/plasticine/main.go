@@ -15,6 +15,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -45,6 +46,8 @@ func main() {
 		err = cmdRun(args)
 	case "profile":
 		err = cmdProfile(args)
+	case "explain":
+		err = cmdExplain(args)
 	case "bench":
 		err = cmdBench(args)
 	case "resilience":
@@ -89,15 +92,25 @@ commands:
                     optionally under an injected fault plan; -events adds
                     timed mid-run faults (kill-pcu@N,kill-pmu@N,kill-sw@N,
                     kill-chan@N) survived via checkpoint/repair/resume
-  profile -bench <name> [-events list] [-faults spec] [-trace path] [-counters path]
+  profile -bench <name> [-by-pattern] [-passes] [-events list] [-faults spec]
+                    [-trace path] [-counters path]
                     cycle-level profile: per-unit busy/stall/idle accounting
                     with stall causes, DRAM channel and link utilization and
                     the named bottleneck; writes a Chrome trace-event JSON
-                    (chrome://tracing) and a flat counters JSON
-  bench [-json] [benchmark ...]
+                    (chrome://tracing, with compile passes on their own
+                    track) and a flat counters JSON. -by-pattern rolls the
+                    profile up by source pattern node instead of physical
+                    unit (rows sum exactly to the makespan); -passes prints
+                    the compiler pass trace
+  explain -bench <name> [-cols N] [-rows N] [-faults spec] [-json]
+                    source-level fit report: does the benchmark fit the
+                    fabric, and if not, which pattern nodes demand the
+                    resource that ran out (never panics; exits 0 with a
+                    structured report either way)
+  bench [-json] [-out path] [benchmark ...]
                     simulator throughput (simulated cycles vs host wall
                     time); -json writes BENCH_sim.json (schema in
-                    EXPERIMENTS.md)
+                    EXPERIMENTS.md), -out overrides the output path
   resilience <benchmark> [-seed N] [-spike P] [-retry P]
                     makespan degradation vs fraction of disabled tiles,
                     optionally on a memory system with latency spikes
@@ -215,6 +228,8 @@ func cmdProfile(args []string) error {
 	events := fs.String("events", "", "timed mid-run faults, e.g. kill-pcu@5000,kill-chan@12000")
 	tracePath := fs.String("trace", "", "Chrome trace-event JSON output path (default <bench>_trace.json; \"\" after -bench keeps the default, \"none\" disables)")
 	countersPath := fs.String("counters", "", "flat counters JSON output path (default <bench>_counters.json; \"none\" disables)")
+	byPattern := fs.Bool("by-pattern", false, "roll the profile up by source pattern node (rows sum exactly to the makespan)")
+	showPasses := fs.Bool("passes", false, "print the compiler pass trace (wall time and per-pass statistics)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -223,7 +238,7 @@ func cmdProfile(args []string) error {
 		name = fs.Arg(0) // positional form: plasticine profile <benchmark>
 	}
 	if name == "" || (fs.NArg() > 0 && *bench != "") || fs.NArg() > 1 {
-		return fmt.Errorf("usage: plasticine profile -bench <name> [-events list] [-faults spec] [-trace path] [-counters path]")
+		return fmt.Errorf("usage: plasticine profile -bench <name> [-by-pattern] [-passes] [-events list] [-faults spec] [-trace path] [-counters path]")
 	}
 	b, err := workloads.ByName(name)
 	if err != nil {
@@ -241,7 +256,14 @@ func cmdProfile(args []string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Print(core.FormatProfile(p.Report))
+	if *byPattern {
+		fmt.Print(core.FormatPatternProfile(p.Pattern))
+	} else {
+		fmt.Print(core.FormatProfile(p.Report))
+	}
+	if *showPasses && p.Passes != nil {
+		fmt.Print(p.Passes.String())
+	}
 	write := func(path, fallback string, gen func() ([]byte, error), what string) error {
 		if path == "none" {
 			return nil
@@ -265,9 +287,61 @@ func cmdProfile(args []string) error {
 	return write(*countersPath, name+"_counters.json", p.CountersJSON, "counters")
 }
 
+func cmdExplain(args []string) error {
+	fs := flag.NewFlagSet("explain", flag.ContinueOnError)
+	bench := fs.String("bench", "", "benchmark to explain (see plasticine list)")
+	cols := fs.Int("cols", 0, "override fabric columns (0 = paper default); shrink to probe fit limits")
+	rows := fs.Int("rows", 0, "override fabric rows (0 = paper default)")
+	faultSpec := fs.String("faults", "", "fault plan, e.g. seed=1,pcu=40,pmu=20")
+	asJSON := fs.Bool("json", false, "emit the structured report as JSON")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	name := *bench
+	if name == "" && fs.NArg() == 1 {
+		name = fs.Arg(0) // positional form: plasticine explain <benchmark>
+	}
+	if name == "" || (fs.NArg() > 0 && *bench != "") || fs.NArg() > 1 {
+		return fmt.Errorf("usage: plasticine explain -bench <name> [-cols N] [-rows N] [-faults spec] [-json]")
+	}
+	b, err := workloads.ByName(name)
+	if err != nil {
+		return err
+	}
+	params := arch.Default()
+	if *cols > 0 {
+		params.Chip.Cols = *cols
+	}
+	if *rows > 0 {
+		params.Chip.Rows = *rows
+	}
+	sys := core.WithParams(params)
+	plan, err := buildPlan(*faultSpec, "", sys.Params)
+	if err != nil {
+		return err
+	}
+	ex, err := sys.Explain(b, plan)
+	if err != nil {
+		return err
+	}
+	if *asJSON {
+		data, err := json.MarshalIndent(ex, "", "  ")
+		if err != nil {
+			return err
+		}
+		fmt.Println(string(data))
+		return nil
+	}
+	fmt.Print(ex.String())
+	// A program that does not fit is the expected answer, not a failure:
+	// exit 0 either way so scripts can parse the report.
+	return nil
+}
+
 func cmdBench(args []string) error {
 	fs := flag.NewFlagSet("bench", flag.ContinueOnError)
 	asJSON := fs.Bool("json", false, "also write BENCH_sim.json (schema in EXPERIMENTS.md)")
+	outPath := fs.String("out", "", "output path for the JSON document (default BENCH_sim.json; implies -json)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -276,15 +350,19 @@ func cmdBench(args []string) error {
 		return err
 	}
 	fmt.Print(core.FormatBench(results))
-	if *asJSON {
+	if *asJSON || *outPath != "" {
+		path := *outPath
+		if path == "" {
+			path = "BENCH_sim.json"
+		}
 		data, err := core.BenchJSON(results)
 		if err != nil {
 			return err
 		}
-		if err := os.WriteFile("BENCH_sim.json", data, 0o644); err != nil {
+		if err := os.WriteFile(path, data, 0o644); err != nil {
 			return err
 		}
-		fmt.Printf("wrote BENCH_sim.json (%d bytes)\n", len(data))
+		fmt.Printf("wrote %s (%d bytes)\n", path, len(data))
 	}
 	return nil
 }

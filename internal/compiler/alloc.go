@@ -20,7 +20,7 @@ func Allocate(p *dhdl.Program) (*Virtual, error) {
 		if m, ok := pmus[s]; ok {
 			return m
 		}
-		m := &VirtualPMU{Name: s.Name, Mem: s, NBuf: s.NBuf, Unroll: 1}
+		m := &VirtualPMU{Name: s.Name, Origin: s.Provenance(), Mem: s, NBuf: s.NBuf, Unroll: 1}
 		pmus[s] = m
 		v.PMUs = append(v.PMUs, m)
 		return m
@@ -53,6 +53,7 @@ func Allocate(p *dhdl.Program) (*Virtual, error) {
 			x := c.Xfer
 			ag := &VirtualAG{
 				Name:   c.Name,
+				Origin: c.Provenance(),
 				Leaf:   c,
 				Sparse: c.Kind == dhdl.GatherKind || c.Kind == dhdl.ScatterKind,
 				Write:  c.Kind == dhdl.StoreKind || c.Kind == dhdl.ScatterKind,
@@ -92,7 +93,7 @@ func Allocate(p *dhdl.Program) (*Virtual, error) {
 // address-calculation ops into the PMUs of the memories it touches
 // (Section 3.2: address calculation is performed on the PMU datapath).
 func lowerCompute(c *dhdl.Controller, unroll int, pmuOf func(*dhdl.SRAM) *VirtualPMU) (*VirtualPCU, error) {
-	u := &VirtualPCU{Name: c.Name, Leaf: c, Lanes: 1, Unroll: unroll}
+	u := &VirtualPCU{Name: c.Name, Origin: c.Provenance(), Leaf: c, Lanes: 1, Unroll: unroll}
 	if n := len(c.Chain); n > 0 {
 		u.Lanes = c.Chain[n-1].Par
 		for _, ctr := range c.Chain[:n-1] {

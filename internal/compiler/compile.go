@@ -59,6 +59,10 @@ type Mapping struct {
 	Leaves map[*dhdl.Controller]*LeafMap
 	Mems   map[*dhdl.SRAM]*MemMap
 	Util   Utilization
+
+	// Passes is the per-pass instrumentation of the compile that produced
+	// this mapping; Repair appends its own entries.
+	Passes *PassTrace
 }
 
 // pmuReadLatency is the cycles from read-address issue to data on the
@@ -79,38 +83,120 @@ func Compile(p *dhdl.Program, params arch.Params) (*Mapping, error) {
 // healthy fabric fails with a structured error wrapping ErrInsufficient. A
 // nil (or fault-free) plan reproduces Compile byte-identically.
 func CompileWithFaults(p *dhdl.Program, params arch.Params, plan *fault.Plan) (*Mapping, error) {
-	if err := params.Validate(); err != nil {
-		return nil, err
+	m, _, err := CompileTraced(p, params, plan)
+	return m, err
+}
+
+// CompileTraced is CompileWithFaults that also returns the pass trace. On
+// failure the mapping is nil but the trace still covers every pass up to and
+// including the one that failed, so callers can explain what went wrong.
+func CompileTraced(p *dhdl.Program, params arch.Params, plan *fault.Plan) (*Mapping, *PassTrace, error) {
+	pt := &PassTrace{Program: p.Name}
+	end := pt.begin("validate")
+	err := params.Validate()
+	end(params.String(), nil, err)
+	if err != nil {
+		return nil, pt, err
 	}
+
+	end = pt.begin("allocate")
 	v, err := Allocate(p)
-	if err != nil {
-		return nil, err
+	var allocDetail string
+	var allocStats map[string]int64
+	if err == nil {
+		allocDetail = fmt.Sprintf("%d vPCUs, %d vPMUs, %d vAGs", len(v.PCUs), len(v.PMUs), len(v.AGs))
+		allocStats = map[string]int64{
+			"virtual_pcus": int64(len(v.PCUs)), "virtual_pmus": int64(len(v.PMUs)),
+			"virtual_ags": int64(len(v.AGs)), "outer_ctrls": int64(v.OuterCtrls),
+		}
 	}
+	end(allocDetail, allocStats, err)
+	if err != nil {
+		return nil, pt, err
+	}
+
+	end = pt.begin("partition")
 	part, err := Partition(v, params)
-	if err != nil {
-		return nil, err
+	var partDetail string
+	var partStats map[string]int64
+	if err == nil {
+		partDetail = fmt.Sprintf("%d PCUs, %d PMUs, %d AGs", part.TotalPCUs, part.TotalPMUs, part.TotalAGs)
+		partStats = map[string]int64{
+			"phys_pcus": int64(part.TotalPCUs), "phys_pmus": int64(part.TotalPMUs),
+			"phys_ags": int64(part.TotalAGs), "used_fu_slots": part.UsedFUSlots,
+		}
 	}
+	end(partDetail, partStats, err)
+	if err != nil {
+		return nil, pt, err
+	}
+
+	end = pt.begin("fit-check")
 	healthyPCUs := params.NumPCUs() - plan.NumDisabledPCUs()
 	healthyPMUs := params.NumPMUs() - plan.NumDisabledPMUs()
-	if part.TotalPCUs > healthyPCUs {
-		return nil, &InsufficientError{Resource: "PCU", Need: part.TotalPCUs,
+	fitStats := map[string]int64{
+		"need_pcus": int64(part.TotalPCUs), "have_pcus": int64(healthyPCUs),
+		"need_pmus": int64(part.TotalPMUs), "have_pmus": int64(healthyPMUs),
+		"need_ags": int64(part.TotalAGs), "have_ags": int64(params.NumAGs()),
+	}
+	var fitErr error
+	switch {
+	case part.TotalPCUs > healthyPCUs:
+		fitErr = &InsufficientError{Resource: "PCU", Need: part.TotalPCUs,
 			Have: healthyPCUs, Disabled: plan.NumDisabledPCUs()}
-	}
-	if part.TotalPMUs > healthyPMUs {
-		return nil, &InsufficientError{Resource: "PMU", Need: part.TotalPMUs,
+	case part.TotalPMUs > healthyPMUs:
+		fitErr = &InsufficientError{Resource: "PMU", Need: part.TotalPMUs,
 			Have: healthyPMUs, Disabled: plan.NumDisabledPMUs()}
+	case part.TotalAGs > params.NumAGs():
+		fitErr = &InsufficientError{Resource: "AG", Need: part.TotalAGs, Have: params.NumAGs()}
 	}
-	if part.TotalAGs > params.NumAGs() {
-		return nil, &InsufficientError{Resource: "AG", Need: part.TotalAGs, Have: params.NumAGs()}
+	end(fmt.Sprintf("PCU %d/%d, PMU %d/%d, AG %d/%d", part.TotalPCUs, healthyPCUs,
+		part.TotalPMUs, healthyPMUs, part.TotalAGs, params.NumAGs()), fitStats, fitErr)
+	if fitErr != nil {
+		return nil, pt, fitErr
 	}
+
+	end = pt.begin("netlist")
 	nl := BuildNetlist(part)
-	if err := PlaceWithFaults(nl, params, plan); err != nil {
-		return nil, err
+	edges := 0
+	for i, nd := range nl.Nodes {
+		for _, j := range nd.Edges {
+			if j > i {
+				edges++
+			}
+		}
 	}
-	routes, err := RouteAllWithFaults(nl, params, plan)
+	end(fmt.Sprintf("%d nodes, %d edges", len(nl.Nodes), edges),
+		map[string]int64{"nodes": int64(len(nl.Nodes)), "edges": int64(edges)}, nil)
+
+	end = pt.begin("place")
+	err = PlaceWithFaults(nl, params, plan)
+	var plStats map[string]int64
+	var plDetail string
+	if err == nil {
+		plStats = placeStats(nl)
+		plDetail = fmt.Sprintf("wirelength %d, worst edge %d hops",
+			plStats["wirelength"], plStats["worst_edge_hops"])
+	}
+	end(plDetail, plStats, err)
 	if err != nil {
-		return nil, err
+		return nil, pt, err
 	}
+
+	end = pt.begin("route")
+	routes, err := RouteAllWithFaults(nl, params, plan)
+	var rtStats map[string]int64
+	var rtDetail string
+	if err == nil {
+		rtStats = routeStats(routes)
+		rtDetail = fmt.Sprintf("%d routes, %.2f avg hops, max link use %d",
+			len(routes.Routes), routes.AvgHops(), routes.MaxLinkUse())
+	}
+	end(rtDetail, rtStats, err)
+	if err != nil {
+		return nil, pt, err
+	}
+	endTiming := pt.begin("timing")
 	// Hop distance between two placed nodes: Manhattan on a pristine
 	// fabric; the routed (detoured) path length under switch faults.
 	edgeHops := map[[2]int]int{}
@@ -212,7 +298,23 @@ func CompileWithFaults(p *dhdl.Program, params arch.Params, plan *fault.Plan) (*
 		m.Mems[pm.V.Mem] = &MemMap{PMUs: pm.Units(), NBuf: pm.V.NBuf, Banks: params.PMU.Banks}
 	}
 	m.Util = computeUtil(part, params)
-	return m, nil
+	maxDepth, maxII := 0, 0
+	for _, lm := range m.Leaves {
+		if lm.PipelineDepth > maxDepth {
+			maxDepth = lm.PipelineDepth
+		}
+		if lm.II > maxII {
+			maxII = lm.II
+		}
+	}
+	endTiming(fmt.Sprintf("%d leaves, max depth %d, max II %d", len(m.Leaves), maxDepth, maxII),
+		map[string]int64{
+			"leaves": int64(len(m.Leaves)), "max_pipeline_depth": int64(maxDepth),
+			"max_ii": int64(maxII), "util_fu_pct": int64(m.Util.FUFrac * 100),
+			"util_pcu_pct": int64(m.Util.PCUFrac * 100), "util_pmu_pct": int64(m.Util.PMUFrac * 100),
+		}, nil)
+	m.Passes = pt
+	return m, pt, nil
 }
 
 func computeUtil(part *Partitioned, params arch.Params) Utilization {
@@ -259,12 +361,12 @@ func (m *Mapping) Summary() string {
 		100*m.Util.FUFrac)
 	for _, pc := range m.Part.PCUs {
 		lm := m.Leaves[pc.V.Leaf]
-		fmt.Fprintf(&b, "  compute %-20s %d part(s) x%d unroll, %d lanes, depth %d\n",
-			pc.V.Name, len(pc.Parts), pc.V.Unroll, pc.V.Lanes, lm.PipelineDepth)
+		fmt.Fprintf(&b, "  compute %-20s %d part(s) x%d unroll, %d lanes, depth %d  <- %s\n",
+			pc.V.Name, len(pc.Parts), pc.V.Unroll, pc.V.Lanes, lm.PipelineDepth, pc.V.Origin)
 	}
 	for _, pm := range m.Part.PMUs {
-		fmt.Fprintf(&b, "  memory  %-20s %d PMU(s), %d-buffered, %d support PCU(s)\n",
-			pm.V.Name, pm.Units(), pm.V.NBuf, pm.SupportPCUs)
+		fmt.Fprintf(&b, "  memory  %-20s %d PMU(s), %d-buffered, %d support PCU(s)  <- %s\n",
+			pm.V.Name, pm.Units(), pm.V.NBuf, pm.SupportPCUs, pm.V.Origin)
 	}
 	return b.String()
 }

@@ -58,6 +58,15 @@ type Partitioned struct {
 	UsedFUSlots int64
 }
 
+// originTag renders "name (origin)" for error messages, collapsing to the
+// bare name when the origin adds nothing.
+func originTag(name, origin string) string {
+	if origin != "" && origin != name {
+		return fmt.Sprintf("%s (%s)", name, origin)
+	}
+	return name
+}
+
 // reduceStages is the pipeline depth of a cross-lane reduction: log2(lanes)
 // tree levels plus the accumulator stage. With 16 lanes this is 5, which is
 // why Figure 7a marks fewer than 5 stages infeasible for most benchmarks.
@@ -170,7 +179,7 @@ func reorderForPressure(u *VirtualPCU) {
 func PartitionPCU(u *VirtualPCU, p arch.PCUParams) ([]*PhysPCU, error) {
 	reorderForPressure(u)
 	if u.Lanes > p.Lanes {
-		return nil, fmt.Errorf("compiler: %s needs %d lanes, PCU has %d", u.Name, u.Lanes, p.Lanes)
+		return nil, fmt.Errorf("compiler: %s needs %d lanes, PCU has %d", originTag(u.Name, u.Origin), u.Lanes, p.Lanes)
 	}
 	// Use positions: op results carry a def position and last use; input
 	// streams carry every use position (a stream enters each partition
@@ -232,7 +241,7 @@ func PartitionPCU(u *VirtualPCU, p arch.PCUParams) ([]*PhysPCU, error) {
 		if best == nil {
 			cand := buildPart(u, start, start+1, n, resUses, vecUses, scalUses)
 			return nil, fmt.Errorf("compiler: %s: op %d alone violates PCU constraints (stages=%d live=%d vecIn=%d scalIn=%d vecOut=%d scalOut=%d vs %+v)",
-				u.Name, start, cand.StagesUsed, cand.MaxLive, cand.VecIns, cand.ScalIns, cand.VecOuts, cand.ScalOuts, p)
+				originTag(u.Name, u.Origin), start, cand.StagesUsed, cand.MaxLive, cand.VecIns, cand.ScalIns, cand.VecOuts, cand.ScalOuts, p)
 		}
 		parts = append(parts, best)
 		start = end
@@ -372,7 +381,7 @@ func violates(part *PhysPCU, p arch.PCUParams) bool {
 func checkPart(u *VirtualPCU, part *PhysPCU, p arch.PCUParams) error {
 	if violates(part, p) {
 		return fmt.Errorf("compiler: %s: unit violates PCU constraints (stages=%d live=%d vecIn=%d scalIn=%d vecOut=%d scalOut=%d vs %+v)",
-			u.Name, part.StagesUsed, part.MaxLive, part.VecIns, part.ScalIns, part.VecOuts, part.ScalOuts, p)
+			originTag(u.Name, u.Origin), part.StagesUsed, part.MaxLive, part.VecIns, part.ScalIns, part.VecOuts, part.ScalOuts, p)
 	}
 	return nil
 }

@@ -1,0 +1,172 @@
+package compiler
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"plasticine/internal/stats"
+)
+
+// PassEntry records one compiler pass execution: what it was, how long it
+// took on the host, a one-line summary, and structured metrics (sizes,
+// deltas, histograms) keyed by metric name.
+type PassEntry struct {
+	Name   string // "validate", "allocate", "partition", ...
+	WallNS int64  // host wall time spent in the pass
+	Detail string // one-line human summary
+	// Stats holds the pass's structured metrics. Histogram buckets use
+	// "<metric>[<bucket>]" keys (e.g. "route_hops[3]").
+	Stats map[string]int64 `json:",omitempty"`
+	// Err is the pass's failure message (empty on success); the trace keeps
+	// entries up to and including the failing pass.
+	Err string `json:",omitempty"`
+}
+
+// PassTrace records the compile pipeline's per-pass statistics: wall time,
+// input/output sizes, allocation and utilization deltas, placement
+// displacement and route-length histograms. It is attached to the Mapping
+// (and available even when compilation fails) so failures and slow compiles
+// can be explained pass by pass.
+type PassTrace struct {
+	Program string
+	Entries []*PassEntry
+}
+
+// begin starts timing a pass; the returned func finalises the entry. Safe on
+// a nil trace (returns a no-op).
+func (pt *PassTrace) begin(name string) func(detail string, st map[string]int64, err error) {
+	if pt == nil {
+		return func(string, map[string]int64, error) {}
+	}
+	t0 := time.Now()
+	return func(detail string, st map[string]int64, err error) {
+		e := &PassEntry{Name: name, WallNS: time.Since(t0).Nanoseconds(), Detail: detail, Stats: st}
+		if err != nil {
+			e.Err = err.Error()
+		}
+		pt.Entries = append(pt.Entries, e)
+	}
+}
+
+// Add appends a pre-built entry (used by Repair to extend a mapping's trace
+// after the initial compile). Safe on a nil trace.
+func (pt *PassTrace) Add(e *PassEntry) {
+	if pt == nil {
+		return
+	}
+	pt.Entries = append(pt.Entries, e)
+}
+
+// TotalNS is the summed wall time of all recorded passes.
+func (pt *PassTrace) TotalNS() int64 {
+	if pt == nil {
+		return 0
+	}
+	var n int64
+	for _, e := range pt.Entries {
+		n += e.WallNS
+	}
+	return n
+}
+
+// String renders the trace as a table: one row per pass with wall time,
+// summary, and sorted metrics.
+func (pt *PassTrace) String() string {
+	if pt == nil || len(pt.Entries) == 0 {
+		return "passtrace: empty\n"
+	}
+	t := stats.New(fmt.Sprintf("compile passes: %s (%.2f ms total)",
+		pt.Program, float64(pt.TotalNS())/1e6), "Pass", "Wall", "Detail")
+	for _, e := range pt.Entries {
+		detail := e.Detail
+		if e.Err != "" {
+			detail = "FAILED: " + e.Err
+		}
+		t.Add(e.Name, fmtNS(e.WallNS), detail)
+	}
+	var b strings.Builder
+	b.WriteString(t.String())
+	for _, e := range pt.Entries {
+		if len(e.Stats) == 0 {
+			continue
+		}
+		keys := make([]string, 0, len(e.Stats))
+		for k := range e.Stats {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		fmt.Fprintf(&b, "  %s:", e.Name)
+		for _, k := range keys {
+			fmt.Fprintf(&b, " %s=%d", k, e.Stats[k])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func fmtNS(ns int64) string {
+	switch {
+	case ns >= 1e9:
+		return fmt.Sprintf("%.2fs", float64(ns)/1e9)
+	case ns >= 1e6:
+		return fmt.Sprintf("%.2fms", float64(ns)/1e6)
+	case ns >= 1e3:
+		return fmt.Sprintf("%.1fus", float64(ns)/1e3)
+	}
+	return fmt.Sprintf("%dns", ns)
+}
+
+// histInto records value v into bucketed keys "<metric>[<b>]" in st, with an
+// overflow bucket "<metric>[>=<cap>]" so histograms stay bounded.
+func histInto(st map[string]int64, metric string, v, cap int) {
+	if v >= cap {
+		st[fmt.Sprintf("%s[>=%d]", metric, cap)]++
+		return
+	}
+	st[fmt.Sprintf("%s[%d]", metric, v)]++
+}
+
+// placeStats summarises a finished placement: the wirelength estimate (sum
+// of Manhattan distances over unique netlist edges), the worst single edge,
+// and an edge-length histogram — the "displacement" cost the greedy placer
+// left on the table.
+func placeStats(nl *Netlist) map[string]int64 {
+	st := map[string]int64{"nodes": int64(len(nl.Nodes))}
+	var wire, worst int64
+	edges := 0
+	for i, nd := range nl.Nodes {
+		for _, j := range nd.Edges {
+			if j < i {
+				continue
+			}
+			d := int64(RouteHops(nd, nl.Nodes[j]))
+			wire += d
+			if d > worst {
+				worst = d
+			}
+			edges++
+			histInto(st, "edge_hops", int(d), 8)
+		}
+	}
+	st["edges"] = int64(edges)
+	st["wirelength"] = wire
+	st["worst_edge_hops"] = worst
+	return st
+}
+
+// routeStats summarises a finished routing: route-length histogram, link
+// congestion, and average hops (scaled x100 to stay integral).
+func routeStats(rt *RouteTable) map[string]int64 {
+	st := map[string]int64{
+		"routes":        int64(len(rt.Routes)),
+		"links_used":    int64(len(rt.LinkUse)),
+		"max_link_use":  int64(rt.MaxLinkUse()),
+		"avg_hops_x100": int64(rt.AvgHops() * 100),
+	}
+	for _, r := range rt.Routes {
+		histInto(st, "route_hops", len(r.Hops)-1, 8)
+	}
+	return st
+}

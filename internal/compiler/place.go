@@ -49,9 +49,12 @@ const (
 
 // Node is one physical unit instance awaiting placement.
 type Node struct {
-	Kind  NodeKind
-	Name  string
-	Edges []int // indices of connected nodes
+	Kind NodeKind
+	Name string
+	// Origin is the source-level provenance inherited from the virtual unit
+	// this instance was expanded from (never empty after BuildNetlist).
+	Origin string
+	Edges  []int // indices of connected nodes
 
 	X, Y int // assigned position (AGs: X is -1 or Cols)
 }
@@ -77,8 +80,11 @@ func BuildNetlist(part *Partitioned) *Netlist {
 		MemNode:   map[*dhdl.SRAM]int{},
 		AGNode:    map[*dhdl.Controller]int{},
 	}
-	addNode := func(k NodeKind, name string) int {
-		nl.Nodes = append(nl.Nodes, &Node{Kind: k, Name: name})
+	addNode := func(k NodeKind, name, origin string) int {
+		if origin == "" {
+			origin = name
+		}
+		nl.Nodes = append(nl.Nodes, &Node{Kind: k, Name: name, Origin: origin})
 		return len(nl.Nodes) - 1
 	}
 	connect := func(a, b int) {
@@ -91,7 +97,7 @@ func BuildNetlist(part *Partitioned) *Netlist {
 		for u := 0; u < pm.V.Unroll; u++ {
 			var prev int = -1
 			for c := 0; c < pm.Copies; c++ {
-				id := addNode(NodePMU, fmt.Sprintf("%s.pmu%d.%d", pm.V.Name, u, c))
+				id := addNode(NodePMU, fmt.Sprintf("%s.pmu%d.%d", pm.V.Name, u, c), pm.V.Origin)
 				if u == 0 && c == 0 {
 					nl.MemNode[pm.V.Mem] = id
 				}
@@ -101,7 +107,7 @@ func BuildNetlist(part *Partitioned) *Netlist {
 				prev = id
 			}
 			for s := 0; s < pm.SupportPCUs; s++ {
-				id := addNode(NodePCU, fmt.Sprintf("%s.addr%d.%d", pm.V.Name, u, s))
+				id := addNode(NodePCU, fmt.Sprintf("%s.addr%d.%d", pm.V.Name, u, s), pm.V.Origin)
 				if first, ok := nl.MemNode[pm.V.Mem]; ok {
 					connect(first, id)
 				}
@@ -113,7 +119,7 @@ func BuildNetlist(part *Partitioned) *Netlist {
 			var chain []int
 			prev := -1
 			for k := range pc.Parts {
-				id := addNode(NodePCU, fmt.Sprintf("%s.pcu%d.%d", pc.V.Name, u, k))
+				id := addNode(NodePCU, fmt.Sprintf("%s.pcu%d.%d", pc.V.Name, u, k), pc.V.Origin)
 				chain = append(chain, id)
 				if prev >= 0 {
 					connect(prev, id)
@@ -144,7 +150,7 @@ func BuildNetlist(part *Partitioned) *Netlist {
 	}
 	for _, ag := range part.Virtual.AGs {
 		for u := 0; u < ag.Unroll; u++ {
-			id := addNode(NodeAG, fmt.Sprintf("%s.ag%d", ag.Name, u))
+			id := addNode(NodeAG, fmt.Sprintf("%s.ag%d", ag.Name, u), ag.Origin)
 			if u == 0 {
 				nl.AGNode[ag.Leaf] = id
 			}

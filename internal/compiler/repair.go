@@ -3,6 +3,7 @@ package compiler
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"plasticine/internal/arch"
 	"plasticine/internal/fault"
@@ -46,7 +47,25 @@ func (r *RepairReport) String() string {
 // activity graph remains valid; detour latency is second-order next to the
 // reconfiguration stall and is absorbed into the recovery penalty.
 func Repair(m *Mapping, plan *fault.Plan) (*RepairReport, error) {
+	t0 := time.Now()
 	rep := &RepairReport{}
+	defer func() {
+		// The repair extends the mapping's pass trace so post-mortem tooling
+		// sees compile and repair as one pipeline.
+		mode := int64(0)
+		if rep.FullRecompile {
+			mode = 1
+		}
+		m.Passes.Add(&PassEntry{
+			Name:   "repair",
+			WallNS: time.Since(t0).Nanoseconds(),
+			Detail: rep.String(),
+			Stats: map[string]int64{
+				"moved_pcus": int64(rep.MovedPCUs), "moved_pmus": int64(rep.MovedPMUs),
+				"rerouted_edges": int64(rep.ReroutedEdges), "full_recompile": mode,
+			},
+		})
+	}()
 	nl := m.Netlist
 	p := m.Params
 
@@ -216,7 +235,14 @@ func patchRoutes(m *Mapping, plan *fault.Plan, moved map[int]bool, rep *RepairRe
 // counts cover every unit whose position changed.
 func fullRecompile(m *Mapping, plan *fault.Plan, rep *RepairReport) (*RepairReport, error) {
 	rep.FullRecompile = true
-	fresh, err := CompileWithFaults(m.Prog, m.Params, plan)
+	fresh, freshPT, err := CompileTraced(m.Prog, m.Params, plan)
+	if freshPT != nil {
+		// Keep the recompile's per-pass record, marked as repair work.
+		for _, e := range freshPT.Entries {
+			m.Passes.Add(&PassEntry{Name: "repair/" + e.Name, WallNS: e.WallNS,
+				Detail: e.Detail, Stats: e.Stats, Err: e.Err})
+		}
+	}
 	if err != nil {
 		return rep, err // wraps ErrInsufficient / ErrNoRoute
 	}

@@ -14,9 +14,12 @@ import (
 // disabled switches disconnect its endpoints.
 var ErrNoRoute = errors.New("compiler: no route through healthy switches")
 
-// NoRouteError identifies the unroutable edge.
+// NoRouteError identifies the unroutable edge, with the source-level
+// origins of both endpoints so the failure can be reported against pattern
+// nodes rather than physical coordinates alone.
 type NoRouteError struct {
 	From, To               string // node names
+	FromOrigin, ToOrigin   string // endpoint provenance
 	FromX, FromY, ToX, ToY int
 }
 
@@ -103,6 +106,7 @@ func RouteAllWithFaults(nl *Netlist, p arch.Params, plan *fault.Plan) (*RouteTab
 				hops, ok = detourRoute(nd.X, nd.Y, to.X, to.Y, p, plan)
 				if !ok {
 					return nil, &NoRouteError{From: nd.Name, To: to.Name,
+						FromOrigin: nd.Origin, ToOrigin: to.Origin,
 						FromX: nd.X, FromY: nd.Y, ToX: to.X, ToY: to.Y}
 				}
 			} else {

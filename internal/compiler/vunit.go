@@ -108,7 +108,10 @@ type VOut struct {
 // unbounded stages, registers and IO (Section 3.6: "virtual units").
 type VirtualPCU struct {
 	Name string
-	Leaf *dhdl.Controller
+	// Origin is the source-level provenance inherited from the leaf
+	// controller (Controller.Provenance); never empty after Allocate.
+	Origin string
+	Leaf   *dhdl.Controller
 
 	Ops     []*VOp // in dependency (schedule) order
 	VecIns  []VecInput
@@ -128,7 +131,9 @@ type VirtualPCU struct {
 // VirtualPMU is the abstract memory unit for one SRAM.
 type VirtualPMU struct {
 	Name string
-	Mem  *dhdl.SRAM
+	// Origin is the provenance inherited from the SRAM (SRAM.Provenance).
+	Origin string
+	Mem    *dhdl.SRAM
 
 	AddrOps int // address-datapath ops copied from producers/consumers
 	RMWOps  int // read-modify-write ALU ops (ReduceSRAM)
@@ -144,7 +149,9 @@ type VirtualPMU struct {
 
 // VirtualAG is an address-generator allocation for one transfer leaf.
 type VirtualAG struct {
-	Name   string
+	Name string
+	// Origin is the provenance inherited from the transfer controller.
+	Origin string
 	Leaf   *dhdl.Controller
 	Sparse bool
 	Write  bool

@@ -89,6 +89,11 @@ type BenchResult struct {
 	// SimWallSec is host time spent simulating (simulator throughput, not a
 	// modelled quantity).
 	SimWallSec float64 `json:",omitempty"`
+
+	// Passes is the compile pipeline's per-pass record (wall time, sizes,
+	// placement/routing quality). Excluded from the JSON artefacts: host wall
+	// times are not reproducible quantities.
+	Passes *compiler.PassTrace `json:"-"`
 }
 
 // RunBenchmark executes one Table 4 benchmark end to end, checks its
@@ -135,6 +140,7 @@ func (s *System) RunBenchmarkOpts(b workloads.Benchmark, plan *fault.Plan, opts 
 	fpgaPower := s.FPGA.Power(w)
 	r := &BenchResult{
 		Name:         b.Name(),
+		Passes:       m.Passes,
 		Cycles:       res.Cycles,
 		TimeSec:      res.Seconds,
 		PowerW:       res.PowerW,

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"strings"
 
+	"plasticine/internal/compiler"
 	"plasticine/internal/fault"
 	"plasticine/internal/sim"
 	"plasticine/internal/stats"
@@ -18,10 +19,13 @@ import (
 )
 
 // ProfileResult bundles one profiled benchmark run: the evaluation row, the
-// rolled-up cycle-accounting report, and the raw collector for trace export.
+// rolled-up cycle-accounting report (per physical unit and per source-level
+// pattern node), the compile pass trace, and the raw collector for export.
 type ProfileResult struct {
 	Bench     *BenchResult
 	Report    *trace.Report
+	Pattern   *trace.PatternReport
+	Passes    *compiler.PassTrace
 	Collector *trace.Collector
 }
 
@@ -36,9 +40,19 @@ func (s *System) ProfileBenchmark(b workloads.Benchmark, plan *fault.Plan, opts 
 	if err != nil {
 		return nil, err
 	}
+	// Compile passes ride the Chrome trace on their own process track; spans
+	// are laid end to end since PassTrace records durations, not start times.
+	if r.Passes != nil {
+		var off int64
+		for _, e := range r.Passes.Entries {
+			col.AddCompileSpan(e.Name, e.Detail, off, e.WallNS)
+			off += e.WallNS
+		}
+	}
 	rep := col.Report()
 	rep.Benchmark = b.Name()
-	return &ProfileResult{Bench: r, Report: rep, Collector: col}, nil
+	return &ProfileResult{Bench: r, Report: rep,
+		Pattern: col.PatternReport(b.Name()), Passes: r.Passes, Collector: col}, nil
 }
 
 // ChromeTrace exports the run as Chrome trace-event JSON (load in
@@ -62,7 +76,7 @@ const maxLinksShown = 8
 func FormatProfile(rep *trace.Report) string {
 	var b strings.Builder
 	t := stats.New(fmt.Sprintf("Profile: %s (%d cycles)", rep.Benchmark, rep.TotalCycles),
-		"Unit", "Kind", "Busy%", "Stall%", "Idle%",
+		"Unit", "Origin", "Kind", "Busy%", "Stall%", "Idle%",
 		"In-starve", "Out-bp", "DRAM-wait", "Drain", "Reconfig", "FIFO hw", "Dominant stall")
 	for i := range rep.Units {
 		u := &rep.Units[i]
@@ -75,7 +89,7 @@ func FormatProfile(rep *trace.Report) string {
 		if dom != trace.CauseNone {
 			domStr = dom.String()
 		}
-		t.AddRow([]string{u.Name, u.Kind,
+		t.AddRow([]string{u.Name, u.Origin, u.Kind,
 			stats.Pct(float64(u.Busy) / tot),
 			stats.Pct(float64(u.StallTotal()) / tot),
 			stats.Pct(float64(u.Idle) / tot),
@@ -118,6 +132,61 @@ func FormatProfile(rep *trace.Report) string {
 	}
 	fmt.Fprintf(&b, "\nbottleneck: %s — %s\n", rep.Bottleneck, rep.BottleneckWhy)
 	return b.String()
+}
+
+// FormatPatternProfile renders the source-level profile: one row per pattern
+// node (origin), with the node's exclusive share of the makespan from the
+// timeline sweep. The Cycles column plus the recovery and idle rows sum
+// exactly to the makespan, so the table reads as "where did the time go" in
+// the program's own vocabulary.
+func FormatPatternProfile(pr *trace.PatternReport) string {
+	var b strings.Builder
+	t := stats.New(fmt.Sprintf("Profile by pattern: %s (%d cycles)", pr.Benchmark, pr.TotalCycles),
+		"Pattern node", "Units", "Cycles", "Share", "Of which busy", "Of which stalled",
+		"Unit busy", "Unit stalls", "Dominant stall")
+	tot := float64(pr.TotalCycles)
+	if tot == 0 {
+		tot = 1
+	}
+	for i := range pr.Rows {
+		r := &pr.Rows[i]
+		dom, _ := r.DominantStall()
+		domStr := "-"
+		if dom != trace.CauseNone {
+			domStr = dom.String()
+		}
+		t.AddRow([]string{r.Origin, fmt.Sprint(r.Units),
+			fmt.Sprint(r.Attributed), stats.Pct(float64(r.Attributed) / tot),
+			fmt.Sprint(r.AttrBusy), fmt.Sprint(r.AttrStall),
+			fmt.Sprint(r.Busy), fmt.Sprint(r.StallTotal()), domStr})
+	}
+	if pr.Recovery > 0 {
+		t.AddRow([]string{"(recovery)", "-", fmt.Sprint(pr.Recovery),
+			stats.Pct(float64(pr.Recovery) / tot), "-", "-", "-", "-", "-"})
+	}
+	t.AddRow([]string{"(idle)", "-", fmt.Sprint(pr.Idle),
+		stats.Pct(float64(pr.Idle) / tot), "-", "-", "-", "-", "-"})
+	b.WriteString(t.String())
+	fmt.Fprintf(&b, "\nattributed %d + recovery %d + idle %d = %d cycles (makespan %d)\n",
+		pr.AttributedTotal()-pr.Recovery-pr.Idle, pr.Recovery, pr.Idle,
+		pr.AttributedTotal(), pr.TotalCycles)
+	return b.String()
+}
+
+// PatternJSON exports the per-pattern rollup as indented JSON.
+func (p *ProfileResult) PatternJSON() ([]byte, error) {
+	return json.MarshalIndent(p.Pattern, "", "  ")
+}
+
+// Explain reports, in source-level terms, whether a benchmark fits this
+// system's fabric (optionally under a fault plan) — the backend of
+// `plasticine explain`.
+func (s *System) Explain(b workloads.Benchmark, plan *fault.Plan) (*compiler.Explanation, error) {
+	p, err := b.Build()
+	if err != nil {
+		return nil, fmt.Errorf("core: %s: %w", b.Name(), err)
+	}
+	return compiler.Explain(p, s.Params, plan), nil
 }
 
 // BenchSchema versions the BENCH_sim.json document (see EXPERIMENTS.md).

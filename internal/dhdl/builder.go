@@ -36,6 +36,24 @@ type Builder struct {
 	stack []*Controller
 	level int
 	err   error
+
+	// curOrigin is stamped onto every controller and memory declared until
+	// the next SetOrigin call (see Controller.Origin).
+	curOrigin string
+}
+
+// SetOrigin sets the source-level origin stamped onto subsequently declared
+// controllers and memories, until the next call. An empty string clears it
+// (declarations then fall back to their Name for provenance). It returns the
+// previous origin so callers can scope an origin and restore it:
+//
+//	prev := b.SetOrigin("Fold.n2:bin(mul)")
+//	... declarations ...
+//	b.SetOrigin(prev)
+func (b *Builder) SetOrigin(origin string) (prev string) {
+	prev = b.curOrigin
+	b.curOrigin = origin
+	return prev
 }
 
 // NewBuilder starts a program with a root controller of the given kind
@@ -88,21 +106,21 @@ func (b *Builder) idxExprs(n int) []Expr {
 
 // DRAMF32 declares an off-chip float32 buffer.
 func (b *Builder) DRAMF32(name string, dims ...int) *DRAMBuf {
-	d := &DRAMBuf{Name: name, Elem: pattern.F32, Dims: dims}
+	d := &DRAMBuf{Name: name, Origin: b.curOrigin, Elem: pattern.F32, Dims: dims}
 	b.prog.DRAMs = append(b.prog.DRAMs, d)
 	return d
 }
 
 // DRAMI32 declares an off-chip int32 buffer.
 func (b *Builder) DRAMI32(name string, dims ...int) *DRAMBuf {
-	d := &DRAMBuf{Name: name, Elem: pattern.I32, Dims: dims}
+	d := &DRAMBuf{Name: name, Origin: b.curOrigin, Elem: pattern.I32, Dims: dims}
 	b.prog.DRAMs = append(b.prog.DRAMs, d)
 	return d
 }
 
 // SRAM declares an on-chip scratchpad of size words.
 func (b *Builder) SRAM(name string, elem pattern.Type, size int) *SRAM {
-	s := &SRAM{Name: name, Elem: elem, Size: size, Banking: Strided, NBuf: 1}
+	s := &SRAM{Name: name, Origin: b.curOrigin, Elem: elem, Size: size, Banking: Strided, NBuf: 1}
 	b.prog.SRAMs = append(b.prog.SRAMs, s)
 	return s
 }
@@ -116,20 +134,20 @@ func (b *Builder) SRAMBanked(name string, elem pattern.Type, size int, mode Bank
 
 // Reg declares a scalar register with an initial value.
 func (b *Builder) Reg(name string, init pattern.Value) *Reg {
-	r := &Reg{Name: name, Elem: init.T, Init: init}
+	r := &Reg{Name: name, Origin: b.curOrigin, Elem: init.T, Init: init}
 	b.prog.Regs = append(b.prog.Regs, r)
 	return r
 }
 
 // FIFO declares a streaming FIFO.
 func (b *Builder) FIFO(name string, elem pattern.Type, depth int) *FIFOMem {
-	f := &FIFOMem{Name: name, Elem: elem, Depth: depth}
+	f := &FIFOMem{Name: name, Origin: b.curOrigin, Elem: elem, Depth: depth}
 	b.prog.FIFOs = append(b.prog.FIFOs, f)
 	return f
 }
 
 func (b *Builder) outer(kind Kind, name string, chain []Counter, body func(ix []Expr)) {
-	c := &Controller{Name: name, Kind: kind, Chain: chain}
+	c := &Controller{Name: name, Origin: b.curOrigin, Kind: kind, Chain: chain}
 	b.add(c)
 	b.stack = append(b.stack, c)
 	b.level += len(chain)
@@ -165,7 +183,7 @@ func (b *Builder) Par(name string, body func()) {
 // Compute adds an inner compute controller whose body closure receives the
 // index expressions of its own counter chain.
 func (b *Builder) Compute(name string, chain []Counter, body func(ix []Expr) []*Assign) {
-	c := &Controller{Name: name, Kind: ComputeKind, Chain: chain}
+	c := &Controller{Name: name, Origin: b.curOrigin, Kind: ComputeKind, Chain: chain}
 	ix := make([]Expr, len(chain))
 	for i := range ix {
 		ix[i] = Idx(b.level + i)
@@ -177,14 +195,14 @@ func (b *Builder) Compute(name string, chain []Counter, body func(ix []Expr) []*
 // Load adds a dense DRAM->SRAM transfer of length words starting at DRAM
 // word offset off.
 func (b *Builder) Load(name string, dram *DRAMBuf, off Expr, sram *SRAM, length int) {
-	b.add(&Controller{Name: name, Kind: LoadKind, Xfer: &Transfer{
+	b.add(&Controller{Name: name, Origin: b.curOrigin, Kind: LoadKind, Xfer: &Transfer{
 		DRAM: dram, Off: off, SRAM: sram, Len: length,
 	}})
 }
 
 // LoadFIFO adds a dense DRAM->FIFO streaming transfer.
 func (b *Builder) LoadFIFO(name string, dram *DRAMBuf, off Expr, fifo *FIFOMem, length int) {
-	b.add(&Controller{Name: name, Kind: LoadKind, Xfer: &Transfer{
+	b.add(&Controller{Name: name, Origin: b.curOrigin, Kind: LoadKind, Xfer: &Transfer{
 		DRAM: dram, Off: off, FIFO: fifo, Len: length,
 	}})
 }
@@ -200,7 +218,7 @@ func (b *Builder) LoadTiled(name string, chain []Counter, dram *DRAMBuf, sram *S
 		ix[i] = Idx(b.level + i)
 	}
 	off, sramOff := f(ix)
-	b.add(&Controller{Name: name, Kind: LoadKind, Chain: chain, Xfer: &Transfer{
+	b.add(&Controller{Name: name, Origin: b.curOrigin, Kind: LoadKind, Chain: chain, Xfer: &Transfer{
 		DRAM: dram, Off: off, SRAM: sram, SRAMOff: sramOff, Len: length,
 	}})
 }
@@ -213,21 +231,21 @@ func (b *Builder) StoreTiled(name string, chain []Counter, dram *DRAMBuf, sram *
 		ix[i] = Idx(b.level + i)
 	}
 	off, sramOff := f(ix)
-	b.add(&Controller{Name: name, Kind: StoreKind, Chain: chain, Xfer: &Transfer{
+	b.add(&Controller{Name: name, Origin: b.curOrigin, Kind: StoreKind, Chain: chain, Xfer: &Transfer{
 		DRAM: dram, Off: off, SRAM: sram, SRAMOff: sramOff, Len: length,
 	}})
 }
 
 // Store adds a dense SRAM->DRAM transfer.
 func (b *Builder) Store(name string, dram *DRAMBuf, off Expr, sram *SRAM, length int) {
-	b.add(&Controller{Name: name, Kind: StoreKind, Xfer: &Transfer{
+	b.add(&Controller{Name: name, Origin: b.curOrigin, Kind: StoreKind, Xfer: &Transfer{
 		DRAM: dram, Off: off, SRAM: sram, Len: length,
 	}})
 }
 
 // StoreFIFO adds a FIFO->DRAM streaming transfer driven by a dynamic count.
 func (b *Builder) StoreFIFO(name string, dram *DRAMBuf, off Expr, fifo *FIFOMem, countReg *Reg) {
-	b.add(&Controller{Name: name, Kind: StoreKind, Xfer: &Transfer{
+	b.add(&Controller{Name: name, Origin: b.curOrigin, Kind: StoreKind, Xfer: &Transfer{
 		DRAM: dram, Off: off, FIFO: fifo, Len: 1, CountReg: countReg,
 	}})
 }
@@ -235,14 +253,14 @@ func (b *Builder) StoreFIFO(name string, dram *DRAMBuf, off Expr, fifo *FIFOMem,
 // Gather adds a sparse DRAM read: count addresses from addrMem index dram;
 // fetched values land in dst in stream order.
 func (b *Builder) Gather(name string, dram *DRAMBuf, addrMem *SRAM, dst *SRAM, count int, countReg *Reg) {
-	b.add(&Controller{Name: name, Kind: GatherKind, Xfer: &Transfer{
+	b.add(&Controller{Name: name, Origin: b.curOrigin, Kind: GatherKind, Xfer: &Transfer{
 		DRAM: dram, AddrMem: addrMem, SRAM: dst, Count: count, CountReg: countReg,
 	}})
 }
 
 // Scatter adds a sparse DRAM write: dram[addrMem[i]] = dataMem[i].
 func (b *Builder) Scatter(name string, dram *DRAMBuf, addrMem, dataMem *SRAM, count int, countReg *Reg) {
-	b.add(&Controller{Name: name, Kind: ScatterKind, Xfer: &Transfer{
+	b.add(&Controller{Name: name, Origin: b.curOrigin, Kind: ScatterKind, Xfer: &Transfer{
 		DRAM: dram, AddrMem: addrMem, DataMem: dataMem, Count: count, CountReg: countReg,
 	}})
 }

@@ -183,9 +183,16 @@ type Transfer struct {
 
 // Controller is a node of the DHDL program tree.
 type Controller struct {
-	Name  string
-	Kind  Kind
-	Chain []Counter // loop counters this controller owns (may be empty)
+	Name string
+	// Origin names the source-level construct this controller implements —
+	// typically a pattern.SourceMap label like "Fold.n3:bin(mul)" or a
+	// loop-nest path like "Fold/body". It survives compilation (virtual
+	// units, partitioning, placement, Repair) so profiles can attribute
+	// cycles back to source. Empty means "no richer source than Name";
+	// consumers fall back via Provenance.
+	Origin string
+	Kind   Kind
+	Chain  []Counter // loop counters this controller owns (may be empty)
 
 	Children []*Controller // for outer kinds
 
@@ -195,6 +202,16 @@ type Controller struct {
 	// Depth is the counter level of this controller's first counter
 	// (set by Finalize; Ctr expressions use these global levels).
 	Depth int
+}
+
+// Provenance is the controller's source attribution: Origin when set, the
+// controller name otherwise — so hand-written DHDL (no pattern front end)
+// still yields a complete provenance chain.
+func (c *Controller) Provenance() string {
+	if c.Origin != "" {
+		return c.Origin
+	}
+	return c.Name
 }
 
 // Program is a complete DHDL application.

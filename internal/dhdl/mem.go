@@ -51,8 +51,11 @@ func (m BankingMode) String() string {
 // pattern.Collection when a program runs.
 type DRAMBuf struct {
 	Name string
-	Elem pattern.Type
-	Dims []int
+	// Origin names the source collection or pattern node this buffer holds
+	// (empty = fall back to Name; see Controller.Origin).
+	Origin string
+	Elem   pattern.Type
+	Dims   []int
 
 	// Data is the live backing store, bound with Bind.
 	Data *pattern.Collection
@@ -84,7 +87,9 @@ func (d *DRAMBuf) Bind(c *pattern.Collection) error {
 
 // SRAM is an on-chip scratchpad tile held in one (logical) PMU.
 type SRAM struct {
-	Name    string
+	Name string
+	// Origin names the source node this tile buffers (empty = Name).
+	Origin  string
 	Elem    pattern.Type
 	Size    int // words
 	Banking BankingMode
@@ -99,13 +104,49 @@ type SRAM struct {
 // (e.g. the result of a Fold).
 type Reg struct {
 	Name string
-	Elem pattern.Type
-	Init pattern.Value
+	// Origin names the source node this register carries (empty = Name).
+	Origin string
+	Elem   pattern.Type
+	Init   pattern.Value
 }
 
 // FIFOMem is a streaming FIFO connecting controllers under a Stream parent.
 type FIFOMem struct {
-	Name  string
-	Elem  pattern.Type
-	Depth int // words
+	Name string
+	// Origin names the source node this FIFO streams (empty = Name).
+	Origin string
+	Elem   pattern.Type
+	Depth  int // words
+}
+
+// Provenance returns Origin, or Name when no origin was recorded.
+func (d *DRAMBuf) Provenance() string {
+	if d.Origin != "" {
+		return d.Origin
+	}
+	return d.Name
+}
+
+// Provenance returns Origin, or Name when no origin was recorded.
+func (s *SRAM) Provenance() string {
+	if s.Origin != "" {
+		return s.Origin
+	}
+	return s.Name
+}
+
+// Provenance returns Origin, or Name when no origin was recorded.
+func (r *Reg) Provenance() string {
+	if r.Origin != "" {
+		return r.Origin
+	}
+	return r.Name
+}
+
+// Provenance returns Origin, or Name when no origin was recorded.
+func (f *FIFOMem) Provenance() string {
+	if f.Origin != "" {
+		return f.Origin
+	}
+	return f.Name
 }

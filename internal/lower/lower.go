@@ -101,15 +101,16 @@ func Pattern(p pattern.Pattern, opts Options) (*Result, error) {
 // assigns each a DRAM buffer and a tile.
 type collector struct {
 	b     *dhdl.Builder
+	sm    *pattern.SourceMap // provenance of the pattern being lowered
 	tile  int
 	colls []*pattern.Collection
 	bufs  map[*pattern.Collection]*dhdl.DRAMBuf
 	tiles map[*pattern.Collection]*dhdl.SRAM
 }
 
-func newCollector(b *dhdl.Builder, tile int) *collector {
+func newCollector(b *dhdl.Builder, sm *pattern.SourceMap, tile int) *collector {
 	return &collector{
-		b: b, tile: tile,
+		b: b, sm: sm, tile: tile,
 		bufs:  map[*pattern.Collection]*dhdl.DRAMBuf{},
 		tiles: map[*pattern.Collection]*dhdl.SRAM{},
 	}
@@ -139,6 +140,9 @@ func (cl *collector) scan(e pattern.Expr) error {
 			scanErr = fmt.Errorf("lower: collection %s has rank %d; want 1", rd.Coll.Name, rd.Coll.Rank())
 			return
 		}
+		// The buffer and its tile are attributed to the exact read node
+		// (stable SourceID), so fit reports can point at the source read.
+		prev := cl.b.SetOrigin(cl.sm.Label(cl.sm.IDOf(rd)))
 		var buf *dhdl.DRAMBuf
 		if rd.Coll.Elem == pattern.F32 {
 			buf = cl.b.DRAMF32(rd.Coll.Name, rd.Coll.Len())
@@ -147,6 +151,7 @@ func (cl *collector) scan(e pattern.Expr) error {
 		}
 		cl.bufs[rd.Coll] = buf
 		cl.tiles[rd.Coll] = cl.b.SRAM("t_"+rd.Coll.Name, rd.Coll.Elem, cl.tile)
+		cl.b.SetOrigin(prev)
 		cl.colls = append(cl.colls, rd.Coll)
 	})
 	return scanErr
@@ -155,7 +160,9 @@ func (cl *collector) scan(e pattern.Expr) error {
 // loads emits one tile load per collection at DRAM offset off.
 func (cl *collector) loads(off dhdl.Expr) {
 	for _, c := range cl.colls {
+		prev := cl.b.SetOrigin(cl.sm.PatternName + "/load:" + c.Name)
 		cl.b.Load("ld_"+c.Name, cl.bufs[c], off, cl.tiles[c], cl.tile)
+		cl.b.SetOrigin(prev)
 	}
 }
 
@@ -265,12 +272,14 @@ func identity(op pattern.Op, t pattern.Type) (pattern.Value, error) {
 }
 
 func lowerMap(p *pattern.MapPat, n int, opts Options) (*Result, error) {
+	sm := pattern.Describe(p)
 	b := dhdl.NewBuilder("map", dhdl.Sequential)
-	cl := newCollector(b, opts.Tile)
+	cl := newCollector(b, sm, opts.Tile)
 	if err := cl.scan(p.F); err != nil {
 		return nil, err
 	}
 	elem := p.F.Type()
+	b.SetOrigin(sm.PatternName + "/store:out")
 	var out *dhdl.DRAMBuf
 	var outData *pattern.Collection
 	if elem == pattern.I32 {
@@ -282,8 +291,10 @@ func lowerMap(p *pattern.MapPat, n int, opts Options) (*Result, error) {
 	}
 	tOut := b.SRAM("t_out", elem, opts.Tile)
 
+	b.SetOrigin(sm.PatternName + "/tiles")
 	b.Pipe("tiles", []dhdl.Counter{dhdl.CStepPar(0, n, opts.Tile, opts.Par)}, func(ix []dhdl.Expr) {
 		cl.loads(ix[0])
+		b.SetOrigin(sm.Path(sm.IDOf(p.F)))
 		b.Compute("map", []dhdl.Counter{dhdl.CPar(opts.Tile, opts.Lanes)}, func(jx []dhdl.Expr) []*dhdl.Assign {
 			v, err := cl.translate(p.F, jx[0], dhdl.Add(ix[0], jx[0]))
 			if err != nil {
@@ -292,6 +303,7 @@ func lowerMap(p *pattern.MapPat, n int, opts Options) (*Result, error) {
 			}
 			return []*dhdl.Assign{dhdl.StoreAt(tOut, jx[0], v)}
 		})
+		b.SetOrigin(sm.PatternName + "/store:out")
 		b.Store("st_out", out, ix[0], tOut, opts.Tile)
 	})
 	prog, err := b.Build()
@@ -308,8 +320,9 @@ func lowerMap(p *pattern.MapPat, n int, opts Options) (*Result, error) {
 }
 
 func lowerFold(p *pattern.FoldPat, n int, opts Options) (*Result, error) {
+	sm := pattern.Describe(p)
 	b := dhdl.NewBuilder("fold", dhdl.Sequential)
-	cl := newCollector(b, opts.Tile)
+	cl := newCollector(b, sm, opts.Tile)
 	if err := cl.scan(p.F); err != nil {
 		return nil, err
 	}
@@ -322,11 +335,15 @@ func lowerFold(p *pattern.FoldPat, n int, opts Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	b.SetOrigin(sm.Path(sm.IDOf(p.F)))
 	partial := b.Reg("partial", ident)
+	b.SetOrigin(sm.PatternName + "/combine")
 	total := b.Reg("total", zero)
 
+	b.SetOrigin(sm.PatternName + "/tiles")
 	b.Pipe("tiles", []dhdl.Counter{dhdl.CStepPar(0, n, opts.Tile, opts.Par)}, func(ix []dhdl.Expr) {
 		cl.loads(ix[0])
+		b.SetOrigin(sm.Path(sm.IDOf(p.F)))
 		b.Compute("fold", []dhdl.Counter{dhdl.CPar(opts.Tile, opts.Lanes)}, func(jx []dhdl.Expr) []*dhdl.Assign {
 			v, err := cl.translate(p.F, jx[0], dhdl.Add(ix[0], jx[0]))
 			if err != nil {
@@ -335,6 +352,7 @@ func lowerFold(p *pattern.FoldPat, n int, opts Options) (*Result, error) {
 			}
 			return []*dhdl.Assign{dhdl.Accum(partial, p.Combine, v)}
 		})
+		b.SetOrigin(sm.PatternName + "/combine")
 		b.Compute("acc", nil, func([]dhdl.Expr) []*dhdl.Assign {
 			return []*dhdl.Assign{dhdl.SetReg(total,
 				&dhdl.Bin{Op: p.Combine, X: dhdl.Rd(total), Y: dhdl.Rd(partial)})}
@@ -351,8 +369,9 @@ func lowerFold(p *pattern.FoldPat, n int, opts Options) (*Result, error) {
 }
 
 func lowerFilter(p *pattern.FlatMapPat, n int, opts Options) (*Result, error) {
+	sm := pattern.Describe(p)
 	b := dhdl.NewBuilder("filter", dhdl.Sequential)
-	cl := newCollector(b, opts.Tile)
+	cl := newCollector(b, sm, opts.Tile)
 	if err := cl.scan(p.Cond); err != nil {
 		return nil, err
 	}
@@ -360,6 +379,7 @@ func lowerFilter(p *pattern.FlatMapPat, n int, opts Options) (*Result, error) {
 		return nil, err
 	}
 	elem := p.F.Type()
+	b.SetOrigin(sm.PatternName + "/store:out")
 	var out *dhdl.DRAMBuf
 	var outData *pattern.Collection
 	if elem == pattern.I32 {
@@ -370,14 +390,17 @@ func lowerFilter(p *pattern.FlatMapPat, n int, opts Options) (*Result, error) {
 		outData = pattern.NewF32("out", n)
 	}
 	kept := b.FIFO("kept", elem, n)
+	b.SetOrigin(sm.PatternName + "/count")
 	tileCnt := b.Reg("tileCnt", pattern.VI(0))
 	total := b.Reg("count", pattern.VI(0))
 	written := b.Reg("written", pattern.VI(0))
 
 	// Filters keep output order, so tiles run sequentially; within a tile
 	// the lanes filter in parallel with valid-word coalescing.
+	b.SetOrigin(sm.PatternName + "/tiles")
 	b.Seq("tiles", []dhdl.Counter{dhdl.CStep(0, n, opts.Tile)}, func(ix []dhdl.Expr) {
 		cl.loads(ix[0])
+		b.SetOrigin(sm.Path(sm.IDOf(p.F)))
 		b.Compute("filter", []dhdl.Counter{dhdl.CPar(opts.Tile, opts.Lanes)}, func(jx []dhdl.Expr) []*dhdl.Assign {
 			c, err := cl.translate(p.Cond, jx[0], dhdl.Add(ix[0], jx[0]))
 			if err != nil {
@@ -394,7 +417,9 @@ func lowerFilter(p *pattern.FlatMapPat, n int, opts Options) (*Result, error) {
 				dhdl.AccumIf(tileCnt, pattern.Add, c, dhdl.CI(1)),
 			}
 		})
+		b.SetOrigin(sm.PatternName + "/store:out")
 		b.StoreFIFO("st_out", out, dhdl.Rd(written), kept, tileCnt)
+		b.SetOrigin(sm.PatternName + "/count")
 		b.Compute("bump", nil, func([]dhdl.Expr) []*dhdl.Assign {
 			return []*dhdl.Assign{
 				dhdl.SetReg(written, dhdl.Add(dhdl.Rd(written), dhdl.Rd(tileCnt))),
@@ -419,8 +444,9 @@ func lowerHashReduce(p *pattern.HashReducePat, n int, opts Options) (*Result, er
 	if p.DenseKeys <= 0 {
 		return nil, fmt.Errorf("lower: only dense HashReduce (static key space) is supported")
 	}
+	sm := pattern.Describe(p)
 	b := dhdl.NewBuilder("hashreduce", dhdl.Sequential)
-	cl := newCollector(b, opts.Tile)
+	cl := newCollector(b, sm, opts.Tile)
 	if err := cl.scan(p.K); err != nil {
 		return nil, err
 	}
@@ -434,6 +460,7 @@ func lowerHashReduce(p *pattern.HashReducePat, n int, opts Options) (*Result, er
 	for vi, v := range p.V {
 		elem := v.Type()
 		name := fmt.Sprintf("bins%d", vi)
+		b.SetOrigin(sm.Path(sm.IDOf(v)))
 		s := b.SRAM(name, elem, p.DenseKeys)
 		binSRAMs = append(binSRAMs, s)
 		var buf *dhdl.DRAMBuf
@@ -463,13 +490,16 @@ func lowerHashReduce(p *pattern.HashReducePat, n int, opts Options) (*Result, er
 		} else {
 			initExpr = dhdl.CF(id.F)
 		}
+		b.SetOrigin(sm.PatternName + "/init")
 		b.Compute(fmt.Sprintf("init%d", vi), []dhdl.Counter{dhdl.CPar(p.DenseKeys, opts.Lanes)},
 			func(ix []dhdl.Expr) []*dhdl.Assign {
 				return []*dhdl.Assign{dhdl.StoreAt(s, ix[0], initExpr)}
 			})
 	}
+	b.SetOrigin(sm.PatternName + "/tiles")
 	b.Pipe("tiles", []dhdl.Counter{dhdl.CStep(0, n, opts.Tile)}, func(ix []dhdl.Expr) {
 		cl.loads(ix[0])
+		b.SetOrigin(sm.PatternName + "/body")
 		b.Compute("hash", []dhdl.Counter{dhdl.CPar(opts.Tile, opts.Lanes)}, func(jx []dhdl.Expr) []*dhdl.Assign {
 			key, err := cl.translate(p.K, jx[0], dhdl.Add(ix[0], jx[0]))
 			if err != nil {
@@ -489,6 +519,7 @@ func lowerHashReduce(p *pattern.HashReducePat, n int, opts Options) (*Result, er
 		})
 	})
 	for vi, s := range binSRAMs {
+		b.SetOrigin(fmt.Sprintf("%s/store:bins%d", sm.PatternName, vi))
 		b.Store(fmt.Sprintf("st_bins%d", vi), res.Bins[vi], dhdl.CI(0), s, p.DenseKeys)
 	}
 	prog, err := b.Build()

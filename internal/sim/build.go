@@ -16,8 +16,9 @@ const burstBytes = 64
 // unit). Activities carry the unit's index; the observability layer replays
 // per-unit timelines from it.
 type simUnit struct {
-	name string
-	kind trace.UnitKind
+	name   string
+	origin string // source-level provenance of the leaf (empty = name)
+	kind   trace.UnitKind
 }
 
 // builder consumes traced execution events and grows the activity graph.
@@ -124,7 +125,9 @@ func (b *builder) unitIndex(ev *dhdl.ExecEvent, key string) int {
 		}
 	}
 	id := len(b.units)
-	b.units = append(b.units, simUnit{name: name, kind: kind})
+	// Unroll copies share the leaf's provenance: the profile rolls them up
+	// into one source-level row.
+	b.units = append(b.units, simUnit{name: name, origin: ev.Ctrl.Provenance(), kind: kind})
 	b.unitOf[key] = id
 	return id
 }

@@ -79,7 +79,7 @@ func (e *engine) emitTrace(m *compiler.Mapping, windows []trace.Window) {
 	}
 	rec := e.rec
 	for i, u := range e.units {
-		rec.RegisterUnit(i, u.name, u.kind)
+		rec.RegisterUnit(i, u.name, u.origin, u.kind)
 	}
 
 	byUnit := make([][]*activity, len(e.units))

@@ -34,8 +34,10 @@ type ChromeTrace struct {
 // events for recovery windows on a dedicated "recovery" thread. Timestamps
 // are cycles interpreted as microseconds (1 GHz fabric: 1 cycle = 1 ns, so
 // a displayed "us" is a real ns — the shapes, not the absolute unit, are
-// what the viewer is for). Events are sorted by timestamp, so consumers see
-// monotonic ts.
+// what the viewer is for). Compiler-pass spans (AddCompileSpan) appear as a
+// second process ("compiler", pid 1) with wall-clock microsecond timestamps
+// from the start of compilation. Events are sorted by timestamp, so
+// consumers see monotonic ts.
 func (c *Collector) ChromeTrace(benchmark string) ([]byte, error) {
 	doc := ChromeTrace{DisplayTimeUnit: "ns",
 		OtherData: map[string]any{"total_cycles": c.total}}
@@ -71,6 +73,27 @@ func (c *Collector) ChromeTrace(benchmark string) ([]byte, error) {
 			Name: w.Cause.String(), Ph: "X", Cat: "recovery",
 			Ts: w.From, Dur: w.To - w.From, Pid: 0, Tid: recoveryTid,
 		})
+	}
+	if len(c.compile) > 0 {
+		const compilerPid = 1
+		doc.TraceEvents = append(doc.TraceEvents, ChromeEvent{
+			Name: "process_name", Ph: "M", Pid: compilerPid,
+			Args: map[string]any{"name": "compiler"},
+		}, ChromeEvent{
+			Name: "thread_name", Ph: "M", Pid: compilerPid, Tid: 0,
+			Args: map[string]any{"name": "passes"},
+		})
+		for _, sp := range c.compile {
+			args := map[string]any{"wall_ns": sp.DurNS}
+			if sp.Detail != "" {
+				args["detail"] = sp.Detail
+			}
+			events = append(events, ChromeEvent{
+				Name: sp.Name, Ph: "X", Cat: "compile",
+				Ts: sp.StartNS / 1000, Dur: sp.DurNS / 1000,
+				Pid: compilerPid, Tid: 0, Args: args,
+			})
+		}
 	}
 	sort.SliceStable(events, func(i, j int) bool { return events[i].Ts < events[j].Ts })
 	doc.TraceEvents = append(doc.TraceEvents, events...)

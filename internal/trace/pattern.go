@@ -1,0 +1,282 @@
+package trace
+
+import "sort"
+
+// PatternRow is one source-level origin group's share of a run. Two kinds of
+// numbers live here:
+//
+//   - Attributed* is the group's exclusive slice of the makespan from the
+//     timeline sweep (see Collector.PatternReport): every cycle of the run is
+//     handed to exactly one group (or the report-level Recovery/Idle
+//     buckets), so summing Attributed over all rows plus Recovery plus Idle
+//     reproduces TotalCycles exactly.
+//   - Busy/Stalls/Idle are plain aggregates over the group's member units
+//     (each unit counts its full timeline), useful for intensity but not
+//     additive across groups.
+type PatternRow struct {
+	Origin string `json:"origin"`
+	Units  int    `json:"units"`
+
+	Attributed int64 `json:"attributed_cycles"`
+	// AttrBusy is the part of Attributed during which the group was busy;
+	// AttrStall is the part during which it was only stalled (no group busy).
+	AttrBusy  int64 `json:"attributed_busy_cycles"`
+	AttrStall int64 `json:"attributed_stall_cycles"`
+
+	Busy   int64            `json:"busy_cycles"`
+	Idle   int64            `json:"idle_cycles"`
+	Stalls [NumCauses]int64 `json:"stall_cycles"`
+}
+
+// StallTotal sums the group's aggregate stall buckets.
+func (p *PatternRow) StallTotal() int64 {
+	var s int64
+	for _, v := range p.Stalls {
+		s += v
+	}
+	return s
+}
+
+// DominantStall returns the group's largest aggregate stall bucket.
+func (p *PatternRow) DominantStall() (StallCause, int64) {
+	best, bestN := CauseNone, int64(0)
+	for c := CauseInputStarved; c < NumCauses; c++ {
+		if p.Stalls[c] > bestN {
+			best, bestN = c, p.Stalls[c]
+		}
+	}
+	return best, bestN
+}
+
+// PatternReport rolls a run up by source-level origin instead of by physical
+// unit: the source profile a pattern author reads. The invariant
+//
+//	sum(Rows[i].Attributed) + Recovery + Idle == TotalCycles
+//
+// holds exactly by construction.
+type PatternReport struct {
+	Benchmark   string       `json:"benchmark,omitempty"`
+	TotalCycles int64        `json:"total_cycles"`
+	Rows        []PatternRow `json:"rows"`
+	// Recovery is the makespan share inside fabric-wide drain/reconfig
+	// windows (attributed to no group: nothing makes progress there).
+	Recovery int64 `json:"recovery_cycles"`
+	// Idle is the makespan share during which no group was busy or stalled.
+	Idle int64 `json:"idle_cycles"`
+}
+
+// interval is a half-open [lo,hi) cycle range.
+type interval struct{ lo, hi int64 }
+
+// mergeIntervals sorts and coalesces overlapping/adjacent intervals.
+func mergeIntervals(ivs []interval) []interval {
+	if len(ivs) == 0 {
+		return nil
+	}
+	sort.Slice(ivs, func(i, j int) bool { return ivs[i].lo < ivs[j].lo })
+	out := ivs[:1]
+	for _, iv := range ivs[1:] {
+		if last := &out[len(out)-1]; iv.lo <= last.hi {
+			if iv.hi > last.hi {
+				last.hi = iv.hi
+			}
+		} else {
+			out = append(out, iv)
+		}
+	}
+	return out
+}
+
+// coverage marks, for each elementary segment, whether any of the (merged,
+// sorted) intervals covers it. bounds has len(segments)+1 entries.
+func coverage(bounds []int64, ivs []interval) []bool {
+	cov := make([]bool, len(bounds)-1)
+	k := 0
+	for i := 0; i < len(cov); i++ {
+		lo, hi := bounds[i], bounds[i+1]
+		for k < len(ivs) && ivs[k].hi <= lo {
+			k++
+		}
+		if k < len(ivs) && ivs[k].lo < hi {
+			cov[i] = true
+		}
+	}
+	return cov
+}
+
+// PatternReport rolls the collected trace up by unit origin. Attribution is a
+// timeline sweep: the makespan is cut at every activity/window boundary, and
+// each elementary segment is handed to exactly one owner —
+//
+//  1. a fabric-wide recovery window, if one covers it;
+//  2. else the first-registered origin group busy during it (busy means the
+//     leading Busy cycles of an activity slice — the model used throughout
+//     this package for splitting a slice into work and dram-wait);
+//  3. else the first-registered group stalled during it (the dram-wait tail
+//     of a slice, or an inter-activity gap with an attributed cause);
+//  4. else the report-level Idle bucket.
+//
+// "First-registered" makes ties deterministic; because concurrent groups
+// split the timeline rather than double-count it, the rows sum exactly to
+// the makespan — the property the per-unit Report cannot offer (every unit
+// there spans the whole run).
+func (c *Collector) PatternReport(benchmark string) *PatternReport {
+	pr := &PatternReport{Benchmark: benchmark, TotalCycles: c.total}
+	if c.total <= 0 {
+		return pr
+	}
+	clamp := func(v int64) int64 {
+		if v < 0 {
+			return 0
+		}
+		if v > c.total {
+			return c.total
+		}
+		return v
+	}
+
+	// Group units by origin, in unit-registration order.
+	groupOf := map[string]int{}
+	var busyIvs, stallIvs [][]interval
+	for _, u := range c.units {
+		origin := u.origin
+		if origin == "" {
+			origin = u.name
+		}
+		g, ok := groupOf[origin]
+		if !ok {
+			g = len(pr.Rows)
+			groupOf[origin] = g
+			pr.Rows = append(pr.Rows, PatternRow{Origin: origin})
+			busyIvs = append(busyIvs, nil)
+			stallIvs = append(stallIvs, nil)
+		}
+		pr.Rows[g].Units++
+
+		slices := append([]Slice(nil), u.slices...)
+		sort.Slice(slices, func(i, j int) bool { return slices[i].Start < slices[j].Start })
+		cursor := int64(0)
+		for _, s := range slices {
+			if s.Gap != CauseNone && s.Start > cursor {
+				stallIvs[g] = append(stallIvs[g], interval{clamp(cursor), clamp(s.Start)})
+			}
+			busy := s.Busy
+			if busy > s.End-s.Start {
+				busy = s.End - s.Start
+			}
+			if busy > 0 {
+				busyIvs[g] = append(busyIvs[g], interval{clamp(s.Start), clamp(s.Start + busy)})
+			}
+			if s.Start+busy < s.End {
+				stallIvs[g] = append(stallIvs[g], interval{clamp(s.Start + busy), clamp(s.End)})
+			}
+			if s.End > cursor {
+				cursor = s.End
+			}
+		}
+	}
+
+	// Cut the makespan at every boundary.
+	boundSet := map[int64]struct{}{0: {}, c.total: {}}
+	addBounds := func(ivs []interval) {
+		for _, iv := range ivs {
+			boundSet[iv.lo] = struct{}{}
+			boundSet[iv.hi] = struct{}{}
+		}
+	}
+	var windowIvs []interval
+	for _, w := range c.windows {
+		windowIvs = append(windowIvs, interval{clamp(w.From), clamp(w.To)})
+	}
+	addBounds(windowIvs)
+	for g := range pr.Rows {
+		busyIvs[g] = mergeIntervals(busyIvs[g])
+		stallIvs[g] = mergeIntervals(stallIvs[g])
+		addBounds(busyIvs[g])
+		addBounds(stallIvs[g])
+	}
+	bounds := make([]int64, 0, len(boundSet))
+	for b := range boundSet {
+		bounds = append(bounds, b)
+	}
+	sort.Slice(bounds, func(i, j int) bool { return bounds[i] < bounds[j] })
+
+	windowAt := coverage(bounds, mergeIntervals(windowIvs))
+	busyAt := make([][]bool, len(pr.Rows))
+	stallAt := make([][]bool, len(pr.Rows))
+	for g := range pr.Rows {
+		busyAt[g] = coverage(bounds, busyIvs[g])
+		stallAt[g] = coverage(bounds, stallIvs[g])
+	}
+
+	// Hand each segment to exactly one owner.
+	for i := 0; i < len(bounds)-1; i++ {
+		length := bounds[i+1] - bounds[i]
+		if length <= 0 {
+			continue
+		}
+		if windowAt[i] {
+			pr.Recovery += length
+			continue
+		}
+		owner := -1
+		for g := range pr.Rows {
+			if busyAt[g][i] {
+				owner = g
+				break
+			}
+		}
+		if owner >= 0 {
+			pr.Rows[owner].Attributed += length
+			pr.Rows[owner].AttrBusy += length
+			continue
+		}
+		for g := range pr.Rows {
+			if stallAt[g][i] {
+				owner = g
+				break
+			}
+		}
+		if owner >= 0 {
+			pr.Rows[owner].Attributed += length
+			pr.Rows[owner].AttrStall += length
+			continue
+		}
+		pr.Idle += length
+	}
+
+	// Aggregate per-unit accounting into the rows (not additive across
+	// groups; kept for intensity and stall-cause breakdowns).
+	rep := c.Report()
+	for i := range rep.Units {
+		u := &rep.Units[i]
+		g, ok := groupOf[u.Origin]
+		if !ok {
+			continue
+		}
+		row := &pr.Rows[g]
+		row.Busy += u.Busy
+		row.Idle += u.Idle
+		for cse, v := range u.Stalls {
+			row.Stalls[cse] += v
+		}
+	}
+
+	sort.SliceStable(pr.Rows, func(i, j int) bool {
+		if pr.Rows[i].Attributed != pr.Rows[j].Attributed {
+			return pr.Rows[i].Attributed > pr.Rows[j].Attributed
+		}
+		return pr.Rows[i].Origin < pr.Rows[j].Origin
+	})
+	return pr
+}
+
+// AttributedTotal sums the exclusive shares including the recovery and idle
+// buckets; it equals TotalCycles by construction.
+func (pr *PatternReport) AttributedTotal() int64 {
+	n := pr.Recovery + pr.Idle
+	for i := range pr.Rows {
+		n += pr.Rows[i].Attributed
+	}
+	return n
+}

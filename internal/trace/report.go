@@ -20,7 +20,10 @@ const (
 // is attributed to exactly one bucket.
 type UnitProfile struct {
 	Name string `json:"name"`
-	Kind string `json:"kind"` // "pcu" or "ag"
+	// Origin is the source-level pattern node the unit was compiled from
+	// (falls back to Name for hand-written DHDL).
+	Origin string `json:"origin"`
+	Kind   string `json:"kind"` // "pcu" or "ag"
 
 	Total int64 `json:"total_cycles"`
 	Busy  int64 `json:"busy_cycles"`
@@ -169,8 +172,11 @@ func (r *Report) classify() {
 func (c *Collector) Report() *Report {
 	r := &Report{TotalCycles: c.total, Windows: append([]Window(nil), c.windows...)}
 	for _, u := range c.units {
-		up := UnitProfile{Name: u.name, Kind: u.kind.String(),
+		up := UnitProfile{Name: u.name, Origin: u.origin, Kind: u.kind.String(),
 			Total: c.total, FIFOHighWater: u.hiWater, Slices: len(u.slices)}
+		if up.Origin == "" {
+			up.Origin = u.name
+		}
 		slices := append([]Slice(nil), u.slices...)
 		sort.Slice(slices, func(i, j int) bool { return slices[i].Start < slices[j].Start })
 		cursor := int64(0)

@@ -99,7 +99,9 @@ type Window struct {
 // and a live one costs O(activities), not O(cycles).
 type Recorder interface {
 	// RegisterUnit declares a physical unit before any slice referencing it.
-	RegisterUnit(id int, name string, kind UnitKind)
+	// origin names the source-level pattern node (or controller) the unit was
+	// compiled from; empty falls back to name.
+	RegisterUnit(id int, name, origin string, kind UnitKind)
 	// Slice records one activity interval [start,end) on a unit. busy is the
 	// portion of the interval spent doing useful work (the remainder is
 	// dram-wait for transfers); gap attributes the idle time between the
@@ -130,6 +132,7 @@ type Slice struct {
 
 type unitInfo struct {
 	name    string
+	origin  string
 	kind    UnitKind
 	hiWater int
 	slices  []Slice
@@ -143,6 +146,17 @@ type LinkStat struct {
 	BytesPerCycle float64
 }
 
+// CompileSpan is one compiler-pass span shown on the Chrome trace's
+// dedicated compiler process track. Times are host wall-clock nanoseconds
+// relative to the start of compilation (a different clock than the fabric's
+// cycle timestamps, which is why the spans live in their own process).
+type CompileSpan struct {
+	Name    string
+	Detail  string
+	StartNS int64
+	DurNS   int64
+}
+
 // Collector is the standard Recorder: it accumulates everything a run emits
 // and rolls it into a Report (and a Chrome trace) on demand.
 type Collector struct {
@@ -150,6 +164,7 @@ type Collector struct {
 	links    []LinkStat
 	channels []DRAMChannelCounters
 	windows  []Window
+	compile  []CompileSpan
 	total    int64
 	finished bool
 }
@@ -160,11 +175,15 @@ func NewCollector() *Collector { return &Collector{} }
 var _ Recorder = (*Collector)(nil)
 
 // RegisterUnit implements Recorder.
-func (c *Collector) RegisterUnit(id int, name string, kind UnitKind) {
+func (c *Collector) RegisterUnit(id int, name, origin string, kind UnitKind) {
 	for id >= len(c.units) {
 		c.units = append(c.units, unitInfo{})
 	}
 	c.units[id].name = name
+	if origin == "" {
+		origin = name
+	}
+	c.units[id].origin = origin
 	c.units[id].kind = kind
 }
 
@@ -211,6 +230,19 @@ func (c *Collector) Window(cause StallCause, from, to int64) {
 	if to > from {
 		c.windows = append(c.windows, Window{Cause: cause, From: from, To: to})
 	}
+}
+
+// AddCompileSpan attaches one compiler-pass span (outside the Recorder
+// interface: compile passes happen before simulation starts, so the caller —
+// not the simulator — feeds them).
+func (c *Collector) AddCompileSpan(name, detail string, startNS, durNS int64) {
+	if startNS < 0 {
+		startNS = 0
+	}
+	if durNS < 0 {
+		durNS = 0
+	}
+	c.compile = append(c.compile, CompileSpan{Name: name, Detail: detail, StartNS: startNS, DurNS: durNS})
 }
 
 // Finish implements Recorder.

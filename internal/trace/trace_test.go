@@ -23,8 +23,8 @@ func checkInvariant(t *testing.T, r *Report) {
 
 func TestReportCycleAccountingExact(t *testing.T) {
 	c := NewCollector()
-	c.RegisterUnit(0, "mac#0", UnitCompute)
-	c.RegisterUnit(1, "loadA", UnitTransfer)
+	c.RegisterUnit(0, "mac#0", "", UnitCompute)
+	c.RegisterUnit(1, "loadA", "", UnitTransfer)
 	// Unit 0: [10,40) busy, gap [0,10) input-starved; [60,80) busy,
 	// gap [40,60) output-backpressured; tail [80,100) idle.
 	c.Slice(0, "mac", 10, 40, 30, CauseInputStarved)
@@ -49,7 +49,7 @@ func TestReportCycleAccountingExact(t *testing.T) {
 
 func TestReportWindowsClaimGaps(t *testing.T) {
 	c := NewCollector()
-	c.RegisterUnit(0, "u", UnitCompute)
+	c.RegisterUnit(0, "u", "", UnitCompute)
 	c.Slice(0, "a", 0, 10, 10, CauseNone)
 	c.Slice(0, "b", 50, 60, 10, CauseInputStarved)
 	// The drain window [20,30) and reconfig [30,35) overlap the [10,50) gap:
@@ -72,7 +72,7 @@ func TestReportWindowsClaimGaps(t *testing.T) {
 
 func TestCollectorClampsBadInput(t *testing.T) {
 	c := NewCollector()
-	c.RegisterUnit(0, "u", UnitCompute)
+	c.RegisterUnit(0, "u", "", UnitCompute)
 	c.Slice(7, "out-of-range", 0, 10, 5, CauseNone) // ignored
 	c.Slice(0, "inverted", 20, 10, 99, CauseNone)   // end<start -> empty, busy clamped
 	c.FIFOHighWater(7, 100)                         // ignored
@@ -89,7 +89,7 @@ func TestCollectorClampsBadInput(t *testing.T) {
 
 func TestClassifyRecoveryBound(t *testing.T) {
 	c := NewCollector()
-	c.RegisterUnit(0, "u", UnitCompute)
+	c.RegisterUnit(0, "u", "", UnitCompute)
 	c.Slice(0, "a", 0, 50, 50, CauseNone)
 	c.Window(CauseDrain, 50, 70) // 20 of 100 >= 10%
 	c.Finish(100)
@@ -100,7 +100,7 @@ func TestClassifyRecoveryBound(t *testing.T) {
 
 func TestClassifyMemoryBound(t *testing.T) {
 	c := NewCollector()
-	c.RegisterUnit(0, "ag", UnitTransfer)
+	c.RegisterUnit(0, "ag", "", UnitTransfer)
 	c.Slice(0, "load", 0, 100, 10, CauseNone) // 90 dram-wait vs 10 busy
 	c.Finish(100)
 	if r := c.Report(); r.Bottleneck != MemoryBound {
@@ -110,7 +110,7 @@ func TestClassifyMemoryBound(t *testing.T) {
 
 func TestClassifyNetworkBound(t *testing.T) {
 	c := NewCollector()
-	c.RegisterUnit(0, "u", UnitCompute)
+	c.RegisterUnit(0, "u", "", UnitCompute)
 	c.Slice(0, "a", 0, 100, 100, CauseNone) // fully busy: no stalls
 	c.Link("0,0>1,0", 2, 8000, 1)           // 8000 bytes / (100 cycles * 1 B/cyc) >> 75%
 	c.Finish(100)
@@ -121,7 +121,7 @@ func TestClassifyNetworkBound(t *testing.T) {
 
 func TestClassifyComputeBound(t *testing.T) {
 	c := NewCollector()
-	c.RegisterUnit(0, "u", UnitCompute)
+	c.RegisterUnit(0, "u", "", UnitCompute)
 	c.Slice(0, "a", 0, 90, 90, CauseNone)
 	c.Finish(100)
 	if r := c.Report(); r.Bottleneck != ComputeBound {
@@ -131,8 +131,8 @@ func TestClassifyComputeBound(t *testing.T) {
 
 func TestChromeTraceRoundTrips(t *testing.T) {
 	c := NewCollector()
-	c.RegisterUnit(0, "mac#0", UnitCompute)
-	c.RegisterUnit(1, "loadA", UnitTransfer)
+	c.RegisterUnit(0, "mac#0", "", UnitCompute)
+	c.RegisterUnit(1, "loadA", "", UnitTransfer)
 	c.Slice(0, "mac", 10, 40, 30, CauseInputStarved)
 	c.Slice(1, "loadA", 0, 50, 20, CauseNone)
 	c.Window(CauseDrain, 50, 60)
@@ -185,7 +185,7 @@ func TestValidateChromeRejectsGarbage(t *testing.T) {
 
 func TestCountersJSON(t *testing.T) {
 	c := NewCollector()
-	c.RegisterUnit(0, "u", UnitCompute)
+	c.RegisterUnit(0, "u", "", UnitCompute)
 	c.Slice(0, "a", 0, 10, 10, CauseNone)
 	c.DRAMChannel(0, DRAMChannelCounters{Reads: 5, RowHits: 4, RowMisses: 1})
 	c.Finish(10)

@@ -28,22 +28,33 @@ func (w *InnerProduct) ScaleNote() string {
 }
 
 func (w *InnerProduct) Build() (*dhdl.Program, error) {
+	// The benchmark is fold(a zip b)(+ of *); origins carry that source-level
+	// shape so profiles and fit reports speak pattern, not unit, vocabulary.
 	b := dhdl.NewBuilder("innerproduct", dhdl.Sequential)
+	b.SetOrigin("Fold/load:a")
 	a := b.DRAMF32("a", w.N)
-	bb := b.DRAMF32("b", w.N)
 	ta := b.SRAM("ta", pattern.F32, w.Tile)
+	b.SetOrigin("Fold/load:b")
+	bb := b.DRAMF32("b", w.N)
 	tb := b.SRAM("tb", pattern.F32, w.Tile)
+	b.SetOrigin("Fold/F")
 	partial := b.Reg("partial", pattern.VF(0))
+	b.SetOrigin("Fold/combine")
 	total := b.Reg("total", pattern.VF(0))
 	w.total = total
 
+	b.SetOrigin("Fold/tiles")
 	b.Pipe("tiles", []dhdl.Counter{dhdl.CStepPar(0, w.N, w.Tile, w.Par)}, func(ix []dhdl.Expr) {
+		b.SetOrigin("Fold/load:a")
 		b.Load("loadA", a, ix[0], ta, w.Tile)
+		b.SetOrigin("Fold/load:b")
 		b.Load("loadB", bb, ix[0], tb, w.Tile)
+		b.SetOrigin("Fold/F")
 		b.Compute("mac", []dhdl.Counter{dhdl.CPar(w.Tile, 16)}, func(jx []dhdl.Expr) []*dhdl.Assign {
 			return []*dhdl.Assign{dhdl.Accum(partial, pattern.Add,
 				dhdl.Mul(dhdl.Ld(ta, jx[0]), dhdl.Ld(tb, jx[0])))}
 		})
+		b.SetOrigin("Fold/combine")
 		b.Compute("acc", nil, func([]dhdl.Expr) []*dhdl.Assign {
 			return []*dhdl.Assign{dhdl.SetReg(total, dhdl.Add(dhdl.Rd(total), dhdl.Rd(partial)))}
 		})
@@ -109,24 +120,36 @@ func (w *OuterProduct) ScaleNote() string {
 
 func (w *OuterProduct) Build() (*dhdl.Program, error) {
 	n, t := w.N, w.Tile
+	// map2d(a, b)(*) with an explicit tiled store: origins follow the
+	// two-level Map the loop nest lowers from.
 	b := dhdl.NewBuilder("outerproduct", dhdl.Sequential)
+	b.SetOrigin("Map/load:a")
 	a := b.DRAMF32("a", n)
-	bb := b.DRAMF32("b", n)
-	c := b.DRAMF32("c", n, n)
 	ta := b.SRAM("ta", pattern.F32, t)
+	b.SetOrigin("Map/load:b")
+	bb := b.DRAMF32("b", n)
 	tb := b.SRAM("tb", pattern.F32, t)
+	b.SetOrigin("Map/store:c")
+	c := b.DRAMF32("c", n, n)
+	b.SetOrigin("Map/F")
 	tc := b.SRAM("tc", pattern.F32, t*t)
 
+	b.SetOrigin("Map/rows")
 	b.Pipe("rows", []dhdl.Counter{dhdl.CStep(0, n, t)}, func(ix []dhdl.Expr) {
+		b.SetOrigin("Map/load:a")
 		b.Load("loadA", a, ix[0], ta, t)
+		b.SetOrigin("Map/cols")
 		b.Pipe("cols", []dhdl.Counter{dhdl.CStepPar(0, n, t, 2)}, func(jx []dhdl.Expr) {
+			b.SetOrigin("Map/load:b")
 			b.Load("loadB", bb, jx[0], tb, t)
+			b.SetOrigin("Map/F")
 			b.Compute("op", []dhdl.Counter{dhdl.C(t), dhdl.CPar(t, 16)}, func(kx []dhdl.Expr) []*dhdl.Assign {
 				val := dhdl.Mul(dhdl.Ld(ta, kx[0]), dhdl.Ld(tb, kx[1]))
 				addr := dhdl.Add(dhdl.Mul(kx[0], dhdl.CI(int32(t))), kx[1])
 				return []*dhdl.Assign{dhdl.StoreAt(tc, addr, val)}
 			})
 			// Store the t x t tile row by row into the output matrix.
+			b.SetOrigin("Map/store:c")
 			b.StoreTiled("storeC", []dhdl.Counter{dhdl.C(t)}, c, tc, t, func(rx []dhdl.Expr) (dhdl.Expr, dhdl.Expr) {
 				off := dhdl.Add(dhdl.Mul(dhdl.Add(ix[0], rx[0]), dhdl.CI(int32(n))), jx[0])
 				sramOff := dhdl.Mul(rx[0], dhdl.CI(int32(t)))
@@ -212,24 +235,38 @@ const (
 
 func (w *TPCHQ6) Build() (*dhdl.Program, error) {
 	n, t := w.N, w.Tile
+	// Q6 is fold(filter(lineitem, predicates))(+ of price*disc); origins name
+	// the Fold's per-column loads, the filtering body, and the combine.
 	b := dhdl.NewBuilder("tpchq6", dhdl.Sequential)
+	b.SetOrigin("Fold/load:date")
 	dDate := b.DRAMI32("date", n)
-	dQty := b.DRAMI32("qty", n)
-	dPrice := b.DRAMF32("price", n)
-	dDisc := b.DRAMF32("disc", n)
 	tDate := b.SRAM("tdate", pattern.I32, t)
+	b.SetOrigin("Fold/load:qty")
+	dQty := b.DRAMI32("qty", n)
 	tQty := b.SRAM("tqty", pattern.I32, t)
+	b.SetOrigin("Fold/load:price")
+	dPrice := b.DRAMF32("price", n)
 	tPrice := b.SRAM("tprice", pattern.F32, t)
+	b.SetOrigin("Fold/load:disc")
+	dDisc := b.DRAMF32("disc", n)
 	tDisc := b.SRAM("tdisc", pattern.F32, t)
+	b.SetOrigin("Fold/F")
 	partial := b.Reg("partial", pattern.VF(0))
+	b.SetOrigin("Fold/combine")
 	revenue := b.Reg("revenue", pattern.VF(0))
 	w.revenue = revenue
 
+	b.SetOrigin("Fold/tiles")
 	b.Pipe("tiles", []dhdl.Counter{dhdl.CStepPar(0, n, t, w.Par)}, func(ix []dhdl.Expr) {
+		b.SetOrigin("Fold/load:date")
 		b.Load("ldDate", dDate, ix[0], tDate, t)
+		b.SetOrigin("Fold/load:qty")
 		b.Load("ldQty", dQty, ix[0], tQty, t)
+		b.SetOrigin("Fold/load:price")
 		b.Load("ldPrice", dPrice, ix[0], tPrice, t)
+		b.SetOrigin("Fold/load:disc")
 		b.Load("ldDisc", dDisc, ix[0], tDisc, t)
+		b.SetOrigin("Fold/F")
 		b.Compute("filterSum", []dhdl.Counter{dhdl.CPar(t, 16)}, func(jx []dhdl.Expr) []*dhdl.Assign {
 			date := dhdl.Ld(tDate, jx[0])
 			qty := dhdl.Ld(tQty, jx[0])
@@ -242,6 +279,7 @@ func (w *TPCHQ6) Build() (*dhdl.Program, error) {
 					dhdl.Lt(qty, dhdl.CI(q6QtyMax))))
 			return []*dhdl.Assign{dhdl.AccumIf(partial, pattern.Add, cond, dhdl.Mul(price, disc))}
 		})
+		b.SetOrigin("Fold/combine")
 		b.Compute("acc", nil, func([]dhdl.Expr) []*dhdl.Assign {
 			return []*dhdl.Assign{dhdl.SetReg(revenue, dhdl.Add(dhdl.Rd(revenue), dhdl.Rd(partial)))}
 		})
@@ -355,26 +393,42 @@ func cndfHost(d float64) float64 {
 
 func (w *BlackScholes) Build() (*dhdl.Program, error) {
 	n, t := w.N, w.Tile
+	// map(options)(price): one Map whose body is the deep Black-Scholes
+	// pipeline; origins name the per-column loads, the body, and the store.
 	b := dhdl.NewBuilder("blackscholes", dhdl.Sequential)
+	b.SetOrigin("Map/load:S")
 	dS := b.DRAMF32("S", n)
-	dK := b.DRAMF32("K", n)
-	dT := b.DRAMF32("T", n)
-	dR := b.DRAMF32("r", n)
-	dV := b.DRAMF32("v", n)
-	dOut := b.DRAMF32("call", n)
 	tS := b.SRAM("tS", pattern.F32, t)
+	b.SetOrigin("Map/load:K")
+	dK := b.DRAMF32("K", n)
 	tK := b.SRAM("tK", pattern.F32, t)
+	b.SetOrigin("Map/load:T")
+	dT := b.DRAMF32("T", n)
 	tT := b.SRAM("tT", pattern.F32, t)
+	b.SetOrigin("Map/load:r")
+	dR := b.DRAMF32("r", n)
 	tR := b.SRAM("tR", pattern.F32, t)
+	b.SetOrigin("Map/load:v")
+	dV := b.DRAMF32("v", n)
 	tV := b.SRAM("tV", pattern.F32, t)
+	b.SetOrigin("Map/store:call")
+	dOut := b.DRAMF32("call", n)
+	b.SetOrigin("Map/F")
 	tOut := b.SRAM("tOut", pattern.F32, t)
 
+	b.SetOrigin("Map/tiles")
 	b.Pipe("tiles", []dhdl.Counter{dhdl.CStepPar(0, n, t, w.Par)}, func(ix []dhdl.Expr) {
+		b.SetOrigin("Map/load:S")
 		b.Load("ldS", dS, ix[0], tS, t)
+		b.SetOrigin("Map/load:K")
 		b.Load("ldK", dK, ix[0], tK, t)
+		b.SetOrigin("Map/load:T")
 		b.Load("ldT", dT, ix[0], tT, t)
+		b.SetOrigin("Map/load:r")
 		b.Load("ldR", dR, ix[0], tR, t)
+		b.SetOrigin("Map/load:v")
 		b.Load("ldV", dV, ix[0], tV, t)
+		b.SetOrigin("Map/F")
 		b.Compute("price", []dhdl.Counter{dhdl.CPar(t, 16)}, func(jx []dhdl.Expr) []*dhdl.Assign {
 			s := dhdl.Ld(tS, jx[0])
 			k := dhdl.Ld(tK, jx[0])
@@ -393,6 +447,7 @@ func (w *BlackScholes) Build() (*dhdl.Program, error) {
 				dhdl.Mul(dhdl.Mul(k, dhdl.Exp(dhdl.Neg(dhdl.Mul(r, tt)))), cndfExpr(d2)))
 			return []*dhdl.Assign{dhdl.StoreAt(tOut, jx[0], call)}
 		})
+		b.SetOrigin("Map/store:call")
 		b.Store("stOut", dOut, ix[0], tOut, t)
 	})
 	p, err := b.Build()

@@ -1,0 +1,99 @@
+// Command bench-diff compares two BENCH_sim.json documents (schema
+// plasticine-bench-sim/v1) and fails when any benchmark's simulated cycle
+// count regressed beyond a threshold. It is the CI perf-regression gate:
+// cycle counts are deterministic, so any drift is a real behaviour change,
+// while wall-clock throughput (host-dependent) is reported but never gated.
+//
+//	go run ./tools/bench-diff [-threshold 0.0] base.json new.json
+//
+// Exit status: 0 when every benchmark is within threshold, 1 on regression
+// or schema mismatch, 2 on usage errors.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"plasticine/internal/core"
+)
+
+func main() {
+	fs := flag.NewFlagSet("bench-diff", flag.ExitOnError)
+	threshold := fs.Float64("threshold", 0.0,
+		"allowed fractional cycle-count regression per benchmark (0.02 = 2%)")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: bench-diff [-threshold frac] <base.json> <new.json>")
+		fs.PrintDefaults()
+	}
+	fs.Parse(os.Args[1:])
+	if fs.NArg() != 2 {
+		fs.Usage()
+		os.Exit(2)
+	}
+	if *threshold < 0 {
+		fmt.Fprintln(os.Stderr, "bench-diff: -threshold must be >= 0")
+		os.Exit(2)
+	}
+	base, err := load(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench-diff:", err)
+		os.Exit(1)
+	}
+	cur, err := load(fs.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench-diff:", err)
+		os.Exit(1)
+	}
+
+	baseBy := map[string]core.BenchSim{}
+	for _, r := range base.Results {
+		baseBy[r.Benchmark] = r
+	}
+	regressions := 0
+	fmt.Printf("%-14s %12s %12s %9s\n", "benchmark", "base cycles", "new cycles", "delta")
+	for _, r := range cur.Results {
+		b, ok := baseBy[r.Benchmark]
+		if !ok {
+			fmt.Printf("%-14s %12s %12d %9s  (new benchmark)\n", r.Benchmark, "-", r.Cycles, "-")
+			continue
+		}
+		delete(baseBy, r.Benchmark)
+		delta := float64(r.Cycles-b.Cycles) / float64(b.Cycles)
+		mark := ""
+		if delta > *threshold {
+			mark = "  REGRESSION"
+			regressions++
+		}
+		fmt.Printf("%-14s %12d %12d %+8.2f%%%s\n", r.Benchmark, b.Cycles, r.Cycles, 100*delta, mark)
+	}
+	for name := range baseBy {
+		fmt.Printf("%-14s dropped from the new results  REGRESSION\n", name)
+		regressions++
+	}
+	if regressions > 0 {
+		fmt.Fprintf(os.Stderr, "bench-diff: %d benchmark(s) regressed beyond %.2f%%\n",
+			regressions, 100**threshold)
+		os.Exit(1)
+	}
+	fmt.Println("bench-diff: ok")
+}
+
+func load(path string) (*core.BenchFile, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f core.BenchFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if f.Schema != core.BenchSchema {
+		return nil, fmt.Errorf("%s: schema %q, want %q", path, f.Schema, core.BenchSchema)
+	}
+	if len(f.Results) == 0 {
+		return nil, fmt.Errorf("%s: no results", path)
+	}
+	return &f, nil
+}
