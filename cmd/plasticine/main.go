@@ -12,13 +12,23 @@
 //	plasticine table6            generalization area-overhead ladder
 //	plasticine table7            full evaluation vs the FPGA baseline
 //	plasticine fig7 [-panel a]   design-space sweep panels a-f
+//
+// Every subcommand is a thin shell over core.Session, the library facade
+// that owns the worker pool and the design-point cache. Suite commands take
+// -workers N to fan evaluation across cores; outputs on stdout are
+// byte-identical at any worker count (timing and cache summaries go to
+// stderr).
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"plasticine/internal/arch"
 	"plasticine/internal/compiler"
@@ -35,6 +45,10 @@ func main() {
 		usage()
 		os.Exit(2)
 	}
+	// Ctrl-C cancels the context; in-flight compiles stop at the next pass
+	// boundary and simulations at the next ctx-check window.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	cmd, args := os.Args[1], os.Args[2:]
 	var err error
 	switch cmd {
@@ -43,31 +57,31 @@ func main() {
 	case "list":
 		err = cmdList()
 	case "run":
-		err = cmdRun(args)
+		err = cmdRun(ctx, args)
 	case "profile":
-		err = cmdProfile(args)
+		err = cmdProfile(ctx, args)
 	case "explain":
 		err = cmdExplain(args)
 	case "bench":
-		err = cmdBench(args)
+		err = cmdBench(ctx, args)
 	case "resilience":
-		err = cmdResilience(args)
+		err = cmdResilience(ctx, args)
 	case "recovery":
-		err = cmdRecovery(args)
+		err = cmdRecovery(ctx, args)
 	case "table3":
-		err = cmdTable3()
+		err = cmdTable3(ctx, args)
 	case "table5":
 		fmt.Print(core.FormatTable5(core.New().Table5()))
 	case "table6":
-		err = cmdTable6()
+		err = cmdTable6(ctx, args)
 	case "table7":
-		err = cmdTable7(args)
+		err = cmdTable7(ctx, args)
 	case "fig7":
-		err = cmdFig7(args)
+		err = cmdFig7(ctx, args)
 	case "bitstream":
 		err = cmdBitstream(args)
 	case "ratios":
-		err = cmdRatios()
+		err = cmdRatios(ctx, args)
 	case "help", "-h", "--help":
 		usage()
 	default:
@@ -107,26 +121,45 @@ commands:
                     fabric, and if not, which pattern nodes demand the
                     resource that ran out (never panics; exits 0 with a
                     structured report either way)
-  bench [-json] [-out path] [benchmark ...]
+  bench [-json] [-out path] [-workers N] [benchmark ...]
                     simulator throughput (simulated cycles vs host wall
                     time); -json writes BENCH_sim.json (schema in
                     EXPERIMENTS.md), -out overrides the output path
-  resilience <benchmark> [-seed N] [-spike P] [-retry P]
+  resilience <benchmark> [-seed N] [-spike P] [-retry P] [-workers N]
                     makespan degradation vs fraction of disabled tiles,
                     optionally on a memory system with latency spikes
                     and transient burst failures
   recovery <benchmark> [-events list] [-seed N]
                     mid-run fault recovery overhead: drain, checkpoint,
                     repair/reconfigure, resume — vs the event-free run
-  table3            parameter selection sweep (Section 3.7)
+  table3 [-workers N]
+                    parameter selection sweep (Section 3.7)
   table5            area breakdown (Table 5)
-  table6            generalization overhead ladder (Table 6)
-  table7 [-format table|csv|json]
+  table6 [-workers N]
+                    generalization overhead ladder (Table 6)
+  table7 [-format table|csv|json] [-workers N]
                     full evaluation (Table 7)
-  fig7 [-panel a]   design-space sweep panel a-f, or "all"
+  fig7 [-panel a] [-workers N]
+                    design-space sweep panel a-f, or "all"
   bitstream <benchmark> [-json]
                     emit the compiled configuration (assembly or JSON)
-  ratios            PMU:PCU provisioning study (Section 3.7)`)
+  ratios [-workers N]
+                    PMU:PCU provisioning study (Section 3.7)
+
+-workers N fans evaluation across N goroutines (0 = all CPU cores) backed by
+a shared design-point cache; stdout is byte-identical at any worker count.`)
+}
+
+// workersFlag registers the shared -workers flag on a suite subcommand.
+func workersFlag(fs *flag.FlagSet) *int {
+	return fs.Int("workers", 1, "parallel evaluation workers (0 = all CPU cores)")
+}
+
+// summarize reports wall time, worker count and cache behaviour on stderr,
+// keeping stdout byte-identical across worker counts.
+func summarize(cmd string, sess *core.Session, t0 time.Time) {
+	fmt.Fprintf(os.Stderr, "%s: %.2fs with %d worker(s); %s\n",
+		cmd, time.Since(t0).Seconds(), sess.Workers(), sess.CacheStats())
 }
 
 func cmdInfo() error {
@@ -149,7 +182,7 @@ func cmdList() error {
 	return nil
 }
 
-func cmdRun(args []string) error {
+func cmdRun(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("run", flag.ContinueOnError)
 	faultSpec := fs.String("faults", "", "fault plan, e.g. seed=1,pcu=4,pmu=2,sw=1,chan=1,retry=0.001")
 	events := fs.String("events", "", "timed mid-run faults, e.g. kill-pcu@5000,kill-chan@12000")
@@ -164,15 +197,16 @@ func cmdRun(args []string) error {
 	if err != nil {
 		return err
 	}
-	sys := core.New()
-	plan, err := buildPlan(*faultSpec, *events, sys.Params)
+	plan, err := buildPlan(*faultSpec, *events, arch.Default())
 	if err != nil {
 		return err
 	}
 	if plan != nil {
 		fmt.Printf("fault plan: %s\n", plan)
 	}
-	r, err := sys.RunBenchmarkOpts(b, plan, sim.Options{MaxCycles: *budget})
+	sess := core.NewSession(core.WithFaults(plan),
+		core.WithSimOptions(sim.Options{MaxCycles: *budget}))
+	r, err := sess.RunBenchmark(ctx, b)
 	if err != nil {
 		return err
 	}
@@ -221,7 +255,7 @@ func buildPlan(faultSpec, events string, params arch.Params) (*fault.Plan, error
 	return fault.NewPlan(spec, params)
 }
 
-func cmdProfile(args []string) error {
+func cmdProfile(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("profile", flag.ContinueOnError)
 	bench := fs.String("bench", "", "benchmark to profile (see plasticine list)")
 	faultSpec := fs.String("faults", "", "fault plan, e.g. seed=1,pcu=4,retry=0.001")
@@ -244,15 +278,15 @@ func cmdProfile(args []string) error {
 	if err != nil {
 		return err
 	}
-	sys := core.New()
-	plan, err := buildPlan(*faultSpec, *events, sys.Params)
+	plan, err := buildPlan(*faultSpec, *events, arch.Default())
 	if err != nil {
 		return err
 	}
 	if plan != nil {
 		fmt.Printf("fault plan: %s\n", plan)
 	}
-	p, err := sys.ProfileBenchmark(b, plan, sim.Options{})
+	sess := core.NewSession(core.WithFaults(plan))
+	p, err := sess.Profile(ctx, b)
 	if err != nil {
 		return err
 	}
@@ -315,12 +349,12 @@ func cmdExplain(args []string) error {
 	if *rows > 0 {
 		params.Chip.Rows = *rows
 	}
-	sys := core.WithParams(params)
-	plan, err := buildPlan(*faultSpec, "", sys.Params)
+	plan, err := buildPlan(*faultSpec, "", params)
 	if err != nil {
 		return err
 	}
-	ex, err := sys.Explain(b, plan)
+	sess := core.NewSession(core.WithArch(params), core.WithFaults(plan))
+	ex, err := sess.Explain(b)
 	if err != nil {
 		return err
 	}
@@ -338,18 +372,22 @@ func cmdExplain(args []string) error {
 	return nil
 }
 
-func cmdBench(args []string) error {
+func cmdBench(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("bench", flag.ContinueOnError)
 	asJSON := fs.Bool("json", false, "also write BENCH_sim.json (schema in EXPERIMENTS.md)")
 	outPath := fs.String("out", "", "output path for the JSON document (default BENCH_sim.json; implies -json)")
+	workers := workersFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	results, err := core.New().BenchSims(fs.Args())
+	t0 := time.Now()
+	sess := core.NewSession(core.WithWorkers(*workers))
+	results, err := sess.Bench(ctx, fs.Args())
 	if err != nil {
 		return err
 	}
 	fmt.Print(core.FormatBench(results))
+	summarize("bench", sess, t0)
 	if *asJSON || *outPath != "" {
 		path := *outPath
 		if path == "" {
@@ -367,16 +405,17 @@ func cmdBench(args []string) error {
 	return nil
 }
 
-func cmdResilience(args []string) error {
+func cmdResilience(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("resilience", flag.ContinueOnError)
 	seed := fs.Int64("seed", 1, "fault-plan seed (same seed, same disabled tiles)")
 	spike := fs.Float64("spike", 0, "per-burst DRAM latency-spike probability in [0,1]")
 	retry := fs.Float64("retry", 0, "per-burst transient-failure probability in [0,1]")
+	workers := workersFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if fs.NArg() != 1 {
-		return fmt.Errorf("usage: plasticine resilience <benchmark> [-seed N] [-spike P] [-retry P]")
+		return fmt.Errorf("usage: plasticine resilience <benchmark> [-seed N] [-spike P] [-retry P] [-workers N]")
 	}
 	if *spike < 0 || *spike > 1 {
 		return fmt.Errorf("usage: plasticine resilience: -spike %v is not a probability in [0,1]", *spike)
@@ -388,19 +427,23 @@ func cmdResilience(args []string) error {
 	if err != nil {
 		return err
 	}
+	t0 := time.Now()
+	sess := core.NewSession(core.WithWorkers(*workers))
 	base := fault.Spec{Seed: *seed, SpikeProb: *spike, TransientProb: *retry}
-	rows, err := core.New().ResilienceSpec(b, base, core.DefaultResilienceFractions())
+	rows, err := sess.Resilience(ctx, b, base, core.DefaultResilienceFractions())
 	if err != nil {
 		return err
 	}
 	fmt.Print(core.FormatResilience(b.Name(), *seed, rows))
+	summarize("resilience", sess, t0)
 	return nil
 }
 
-func cmdRecovery(args []string) error {
+func cmdRecovery(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("recovery", flag.ContinueOnError)
 	events := fs.String("events", "", "timed faults to survive (default kill-pcu@1000,kill-pmu@2500,kill-chan@4000)")
 	seed := fs.Int64("seed", 1, "victim-draw seed (same seed, same victims)")
+	workers := workersFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -422,7 +465,8 @@ func cmdRecovery(args []string) error {
 		}
 		spec.Events = parsed.Events
 	}
-	rep, err := core.New().Recovery(b, spec)
+	sess := core.NewSession(core.WithWorkers(*workers))
+	rep, err := sess.Recovery(ctx, b, spec)
 	if err != nil {
 		return err
 	}
@@ -459,52 +503,67 @@ func cmdBitstream(args []string) error {
 	return nil
 }
 
-func cmdRatios() error {
-	benches, err := dse.LoadBenches()
-	if err != nil {
+func cmdRatios(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("ratios", flag.ContinueOnError)
+	workers := workersFlag(fs)
+	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	rows, err := dse.RatioStudy(benches, arch.Default())
+	t0 := time.Now()
+	sess := core.NewSession(core.WithWorkers(*workers))
+	rows, err := sess.RatioStudy(ctx)
 	if err != nil {
 		return err
 	}
 	fmt.Print(dse.FormatRatios(rows))
+	summarize("ratios", sess, t0)
 	return nil
 }
 
-func cmdTable3() error {
-	benches, err := dse.LoadBenches()
-	if err != nil {
+func cmdTable3(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("table3", flag.ContinueOnError)
+	workers := workersFlag(fs)
+	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	rows, err := dse.Table3(benches, arch.Default().Chip)
+	t0 := time.Now()
+	sess := core.NewSession(core.WithWorkers(*workers))
+	rows, err := sess.Table3(ctx)
 	if err != nil {
 		return err
 	}
 	fmt.Print(dse.FormatTable3(rows))
+	summarize("table3", sess, t0)
 	return nil
 }
 
-func cmdTable6() error {
-	benches, err := dse.LoadBenches()
-	if err != nil {
+func cmdTable6(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("table6", flag.ContinueOnError)
+	workers := workersFlag(fs)
+	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	rows, err := dse.Table6(benches, arch.Default())
+	t0 := time.Now()
+	sess := core.NewSession(core.WithWorkers(*workers))
+	rows, err := sess.Table6(ctx)
 	if err != nil {
 		return err
 	}
 	fmt.Print(dse.FormatTable6(rows))
+	summarize("table6", sess, t0)
 	return nil
 }
 
-func cmdTable7(args []string) error {
+func cmdTable7(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("table7", flag.ContinueOnError)
 	format := fs.String("format", "table", "output format: table, csv, json")
+	workers := workersFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	rows, err := core.New().Table7()
+	t0 := time.Now()
+	sess := core.NewSession(core.WithWorkers(*workers))
+	rows, err := sess.Table7(ctx)
 	if err != nil {
 		return err
 	}
@@ -522,29 +581,30 @@ func cmdTable7(args []string) error {
 	default:
 		return fmt.Errorf("unknown format %q", *format)
 	}
+	summarize("table7", sess, t0)
 	return nil
 }
 
-func cmdFig7(args []string) error {
+func cmdFig7(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("fig7", flag.ContinueOnError)
 	panel := fs.String("panel", "a", "panel to compute: a-f or all")
+	workers := workersFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	benches, err := dse.LoadBenches()
-	if err != nil {
-		return err
-	}
+	t0 := time.Now()
+	sess := core.NewSession(core.WithWorkers(*workers))
 	panels := []string{*panel}
 	if *panel == "all" {
 		panels = []string{"a", "b", "c", "d", "e", "f"}
 	}
 	for _, id := range panels {
-		p, err := dse.Figure7(id, benches, arch.Default().Chip)
+		p, err := sess.Figure7(ctx, id)
 		if err != nil {
 			return err
 		}
 		fmt.Printf("panel %s:\n%s\n", id, p.Format())
 	}
+	summarize("fig7", sess, t0)
 	return nil
 }

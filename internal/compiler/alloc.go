@@ -48,6 +48,9 @@ func Allocate(p *dhdl.Program) (*Virtual, error) {
 				*err = e
 				return
 			}
+			// Schedule for register pressure here, once per virtual unit, so
+			// PartitionPCU stays read-only and safe to call concurrently.
+			reorderForPressure(u)
 			v.PCUs = append(v.PCUs, u)
 		default:
 			x := c.Xfer

@@ -1,6 +1,7 @@
 package compiler
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -63,35 +64,88 @@ type Mapping struct {
 	// Passes is the per-pass instrumentation of the compile that produced
 	// this mapping; Repair appends its own entries.
 	Passes *PassTrace
+
+	// LastRepair describes the most recent incremental repair applied to
+	// this mapping (nil if it has never been repaired). Set by Repair, and
+	// therefore by CompileOpts when Options.Reuse routes through it.
+	LastRepair *RepairReport
 }
 
 // pmuReadLatency is the cycles from read-address issue to data on the
 // vector output: the PMU address datapath plus SRAM access.
 func pmuReadLatency(p arch.Params) int { return p.PMU.Stages + 2 }
 
-// Compile runs the full flow: allocate virtual units, partition them into
-// physical units under params, place and route, and derive per-leaf timing
-// for the simulator. It fails if the program cannot be expressed on the
+// Options bundles everything the compile pipeline needs besides the
+// program itself — the single configuration surface behind CompileOpts.
+type Options struct {
+	// Params configures the target fabric.
+	Params arch.Params
+	// Faults is the fault plan to compile around: the placer skips disabled
+	// tiles and routes detour disabled switches. Nil means a pristine
+	// fabric.
+	Faults *fault.Plan
+	// Reuse, when non-nil, repairs the given already-compiled mapping
+	// incrementally against Faults instead of compiling from scratch — the
+	// recovery controller's path. The returned mapping is Reuse itself,
+	// mutated in place, with Mapping.LastRepair describing what moved.
+	// Params is ignored (the mapping keeps its own).
+	Reuse *Mapping
+}
+
+// CompileOpts is the canonical compile entry point: it runs the full flow —
+// allocate virtual units, partition them into physical units, place and
+// route, and derive per-leaf timing for the simulator — under one Options
+// struct, honouring ctx between passes so a parallel sweep can cancel
+// in-flight compiles. It fails if the program cannot be expressed on the
 // fabric (constraint violations) or does not fit (too few units).
+//
+// With Options.Reuse set it instead repairs the existing mapping around
+// Options.Faults (see Repair).
+func CompileOpts(ctx context.Context, p *dhdl.Program, opts Options) (*Mapping, error) {
+	if opts.Reuse != nil {
+		if _, err := Repair(opts.Reuse, opts.Faults); err != nil {
+			return nil, err
+		}
+		return opts.Reuse, nil
+	}
+	m, _, err := compileTraced(ctx, p, opts)
+	return m, err
+}
+
+// Compile maps a program onto a pristine fabric under params.
+//
+// Deprecated: thin wrapper kept for existing callers; use CompileOpts.
 func Compile(p *dhdl.Program, params arch.Params) (*Mapping, error) {
 	return CompileWithFaults(p, params, nil)
 }
 
-// CompileWithFaults is Compile under a fault plan: the placer skips
-// disabled tiles, routes detour around disabled switches (lengthening
-// pipeline depths accordingly), and a design that no longer fits the
-// healthy fabric fails with a structured error wrapping ErrInsufficient. A
-// nil (or fault-free) plan reproduces Compile byte-identically.
+// CompileWithFaults is Compile under a fault plan. A nil (or fault-free)
+// plan reproduces Compile byte-identically.
+//
+// Deprecated: thin wrapper kept for existing callers; use CompileOpts.
 func CompileWithFaults(p *dhdl.Program, params arch.Params, plan *fault.Plan) (*Mapping, error) {
-	m, _, err := CompileTraced(p, params, plan)
-	return m, err
+	return CompileOpts(context.Background(), p, Options{Params: params, Faults: plan})
 }
 
 // CompileTraced is CompileWithFaults that also returns the pass trace. On
 // failure the mapping is nil but the trace still covers every pass up to and
 // including the one that failed, so callers can explain what went wrong.
+//
+// Deprecated: thin wrapper kept for existing callers; use CompileOpts (the
+// trace is always available as Mapping.Passes).
 func CompileTraced(p *dhdl.Program, params arch.Params, plan *fault.Plan) (*Mapping, *PassTrace, error) {
+	return compileTraced(context.Background(), p, Options{Params: params, Faults: plan})
+}
+
+// compileTraced is the pipeline body. It checks ctx at every pass boundary:
+// a canceled compile returns ctx's error wrapped with the program name, and
+// the trace still covers every pass that ran.
+func compileTraced(ctx context.Context, p *dhdl.Program, opts Options) (*Mapping, *PassTrace, error) {
+	params, plan := opts.Params, opts.Faults
 	pt := &PassTrace{Program: p.Name}
+	if err := ctx.Err(); err != nil {
+		return nil, pt, fmt.Errorf("compiler: %s: %w", p.Name, err)
+	}
 	end := pt.begin("validate")
 	err := params.Validate()
 	end(params.String(), nil, err)
@@ -115,6 +169,9 @@ func CompileTraced(p *dhdl.Program, params arch.Params, plan *fault.Plan) (*Mapp
 		return nil, pt, err
 	}
 
+	if err := ctx.Err(); err != nil {
+		return nil, pt, fmt.Errorf("compiler: %s: %w", p.Name, err)
+	}
 	end = pt.begin("partition")
 	part, err := Partition(v, params)
 	var partDetail string
@@ -169,6 +226,9 @@ func CompileTraced(p *dhdl.Program, params arch.Params, plan *fault.Plan) (*Mapp
 	end(fmt.Sprintf("%d nodes, %d edges", len(nl.Nodes), edges),
 		map[string]int64{"nodes": int64(len(nl.Nodes)), "edges": int64(edges)}, nil)
 
+	if err := ctx.Err(); err != nil {
+		return nil, pt, fmt.Errorf("compiler: %s: %w", p.Name, err)
+	}
 	end = pt.begin("place")
 	err = PlaceWithFaults(nl, params, plan)
 	var plStats map[string]int64
@@ -183,6 +243,9 @@ func CompileTraced(p *dhdl.Program, params arch.Params, plan *fault.Plan) (*Mapp
 		return nil, pt, err
 	}
 
+	if err := ctx.Err(); err != nil {
+		return nil, pt, fmt.Errorf("compiler: %s: %w", p.Name, err)
+	}
 	end = pt.begin("route")
 	routes, err := RouteAllWithFaults(nl, params, plan)
 	var rtStats map[string]int64

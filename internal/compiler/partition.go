@@ -176,8 +176,12 @@ func reorderForPressure(u *VirtualPCU) {
 // PartitionPCU splits a virtual PCU into physical PCUs under the given
 // parameters using the paper's greedy heuristic with a cost metric of
 // physical stages, live values per stage, and IO buses (Section 3.6).
+//
+// PartitionPCU is read-only with respect to u (pressure-aware op ordering
+// happens once, in Allocate), so many goroutines may partition the same
+// virtual unit against different candidate parameters concurrently — the
+// access pattern of a parallel design-space sweep.
 func PartitionPCU(u *VirtualPCU, p arch.PCUParams) ([]*PhysPCU, error) {
-	reorderForPressure(u)
 	if u.Lanes > p.Lanes {
 		return nil, fmt.Errorf("compiler: %s needs %d lanes, PCU has %d", originTag(u.Name, u.Origin), u.Lanes, p.Lanes)
 	}

@@ -52,6 +52,7 @@ func Repair(m *Mapping, plan *fault.Plan) (*RepairReport, error) {
 	defer func() {
 		// The repair extends the mapping's pass trace so post-mortem tooling
 		// sees compile and repair as one pipeline.
+		m.LastRepair = rep
 		mode := int64(0)
 		if rep.FullRecompile {
 			mode = 1

@@ -5,6 +5,7 @@
 package core
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 
@@ -108,15 +109,23 @@ func (s *System) RunBenchmark(b workloads.Benchmark) (*BenchResult, error) {
 // through the recovery controller (checkpoint, repair, resume); without
 // events the flow is bit-identical to the plain simulation pipeline.
 func (s *System) RunBenchmarkOpts(b workloads.Benchmark, plan *fault.Plan, opts sim.Options) (*BenchResult, error) {
+	return s.RunBenchmarkCtx(context.Background(), b, plan, opts)
+}
+
+// RunBenchmarkCtx is RunBenchmarkOpts under a context: compilation checks
+// ctx between passes and the simulator polls it periodically, so a parallel
+// suite can abandon in-flight work when a sibling fails or the user
+// interrupts.
+func (s *System) RunBenchmarkCtx(ctx context.Context, b workloads.Benchmark, plan *fault.Plan, opts sim.Options) (*BenchResult, error) {
 	p, err := b.Build()
 	if err != nil {
 		return nil, fmt.Errorf("core: %s: %w", b.Name(), err)
 	}
-	m, err := s.CompileFaulted(p, plan)
+	m, err := compiler.CompileOpts(ctx, p, compiler.Options{Params: s.Params, Faults: plan})
 	if err != nil {
 		return nil, fmt.Errorf("core: %s: %w", b.Name(), err)
 	}
-	res, st, err := sim.RunWithRecovery(m, opts)
+	res, st, err := sim.RunWithRecoveryCtx(ctx, m, opts)
 	if err != nil {
 		return nil, fmt.Errorf("core: %s: %w", b.Name(), err)
 	}

@@ -34,14 +34,25 @@ type ProfileResult struct {
 // and DRAM-channel traffic is counted, and recovery windows (if the fault
 // plan fires mid-run events) are charged fabric-wide.
 func (s *System) ProfileBenchmark(b workloads.Benchmark, plan *fault.Plan, opts sim.Options) (*ProfileResult, error) {
-	col := trace.NewCollector()
-	opts.Recorder = col
+	col, opts := newProfileRecorder(opts)
 	r, err := s.RunBenchmarkOpts(b, plan, opts)
 	if err != nil {
 		return nil, err
 	}
-	// Compile passes ride the Chrome trace on their own process track; spans
-	// are laid end to end since PassTrace records durations, not start times.
+	return assembleProfile(b.Name(), r, col), nil
+}
+
+// newProfileRecorder arms a fresh collector on the given options.
+func newProfileRecorder(opts sim.Options) (*trace.Collector, sim.Options) {
+	col := trace.NewCollector()
+	opts.Recorder = col
+	return col, opts
+}
+
+// assembleProfile rolls a recorded run into a ProfileResult. Compile passes
+// ride the Chrome trace on their own process track; spans are laid end to
+// end since PassTrace records durations, not start times.
+func assembleProfile(name string, r *BenchResult, col *trace.Collector) *ProfileResult {
 	if r.Passes != nil {
 		var off int64
 		for _, e := range r.Passes.Entries {
@@ -50,9 +61,9 @@ func (s *System) ProfileBenchmark(b workloads.Benchmark, plan *fault.Plan, opts 
 		}
 	}
 	rep := col.Report()
-	rep.Benchmark = b.Name()
+	rep.Benchmark = name
 	return &ProfileResult{Bench: r, Report: rep,
-		Pattern: col.PatternReport(b.Name()), Passes: r.Passes, Collector: col}, nil
+		Pattern: col.PatternReport(name), Passes: r.Passes, Collector: col}
 }
 
 // ChromeTrace exports the run as Chrome trace-event JSON (load in

@@ -77,7 +77,7 @@ func (s *System) ResilienceSpec(b workloads.Benchmark, base fault.Spec, fracs []
 			if baseCycles > 0 {
 				row.Slowdown = float64(r.Cycles) / float64(baseCycles)
 			}
-		case errors.Is(err, compiler.ErrInsufficient) || errors.Is(err, compiler.ErrNoRoute):
+		case isInfeasible(err):
 			row.Reason = err.Error()
 		default:
 			return nil, fmt.Errorf("core: resilience at %.0f%%: %w", 100*frac, err)
@@ -85,6 +85,12 @@ func (s *System) ResilienceSpec(b workloads.Benchmark, base fault.Spec, fracs []
 		out = append(out, row)
 	}
 	return out, nil
+}
+
+// isInfeasible reports whether a run failed because the program no longer
+// fits the healthy fabric — a reportable sweep outcome, not an error.
+func isInfeasible(err error) bool {
+	return errors.Is(err, compiler.ErrInsufficient) || errors.Is(err, compiler.ErrNoRoute)
 }
 
 // DefaultResilienceFractions is the sweep the resilience subcommand runs:

@@ -1,0 +1,428 @@
+package core
+
+// Session is the unified library facade over the whole reproduction: one
+// handle that owns the architecture, the default fault plan, the simulator
+// options, and — centrally — the parallel evaluation engine (worker pool +
+// design-point cache) that every consumer shares. The CLI subcommands all
+// construct a Session; so should library users who want more than a single
+// one-shot run.
+//
+// Determinism: every Session method returns byte-identical results at any
+// worker count. Jobs write only their own index-addressed result slots, all
+// shared inputs (benchmark definitions, params, the base fault plan) are
+// treated as immutable — mutable fault plans are cloned per job — and merge
+// order is fixed by job index, never completion order.
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"plasticine/internal/arch"
+	"plasticine/internal/compiler"
+	"plasticine/internal/dhdl"
+	"plasticine/internal/dse"
+	"plasticine/internal/exec"
+	"plasticine/internal/fault"
+	"plasticine/internal/sim"
+	"plasticine/internal/workloads"
+)
+
+// Session is the facade handle. Construct with NewSession; the zero value is
+// not usable.
+type Session struct {
+	sys     *System
+	engine  *exec.Engine
+	plan    *fault.Plan
+	simOpts sim.Options
+
+	// dseOnce lazily allocates benchmark virtual units exactly once per
+	// session; every DSE entry point shares the result, so a Table 3 run
+	// after a Figure 7 panel re-derives nothing.
+	dseOnce    sync.Once
+	dseSweep   *dse.Sweep
+	dseLoadErr error
+}
+
+// SessionOption configures a Session at construction.
+type SessionOption func(*Session)
+
+// WithArch sets the architecture parameters (default: the paper's final
+// configuration, arch.Default()).
+func WithArch(p arch.Params) SessionOption {
+	return func(s *Session) { s.sys = WithParams(p) }
+}
+
+// WithFaults sets the fault plan benchmark runs compile and simulate under
+// (default: pristine fabric). The session treats the plan as immutable and
+// clones it per run, so one plan may back many parallel jobs.
+func WithFaults(plan *fault.Plan) SessionOption {
+	return func(s *Session) { s.plan = plan }
+}
+
+// WithSimOptions sets the simulator options benchmark runs use (default:
+// sim.Options{}). A non-nil Recorder disables result caching for those runs:
+// trace collection is a side effect the cache cannot replay.
+func WithSimOptions(opts sim.Options) SessionOption {
+	return func(s *Session) { s.simOpts = opts }
+}
+
+// WithWorkers sets the evaluation engine's worker count: n > 1 fans
+// independent compile+simulate jobs across n goroutines, n == 1 runs
+// sequentially, n <= 0 uses runtime.NumCPU().
+func WithWorkers(n int) SessionOption {
+	return func(s *Session) { s.engine = exec.NewEngine(n) }
+}
+
+// NewSession builds a session. Defaults: paper architecture, no faults, one
+// worker, fresh cache.
+func NewSession(opts ...SessionOption) *Session {
+	s := &Session{sys: New(), engine: exec.NewEngine(1)}
+	for _, o := range opts {
+		o(s)
+	}
+	return s
+}
+
+// System exposes the underlying parameterised system for callers that need
+// the lower-level API (area breakdowns, direct compiles).
+func (s *Session) System() *System { return s.sys }
+
+// Params returns the session's architecture parameters.
+func (s *Session) Params() arch.Params { return s.sys.Params }
+
+// Workers reports the engine's concurrency.
+func (s *Session) Workers() int { return s.engine.Workers() }
+
+// CacheStats snapshots the design-point cache counters. Misses equals the
+// number of distinct points evaluated, so it is identical at any worker
+// count; surface it in sweep summaries.
+func (s *Session) CacheStats() exec.CacheStats { return s.engine.CacheStats() }
+
+// Run compiles and simulates one program under the session's plan and
+// options (uncached: arbitrary programs have no stable identity).
+func (s *Session) Run(ctx context.Context, p *dhdl.Program) (*sim.Result, *dhdl.State, error) {
+	m, err := compiler.CompileOpts(ctx, p, compiler.Options{Params: s.sys.Params, Faults: s.plan.Clone()})
+	if err != nil {
+		return nil, nil, err
+	}
+	return sim.RunWithRecoveryCtx(ctx, m, s.simOpts)
+}
+
+// planKey canonicalises a fault plan for cache keys. Plans are deterministic
+// functions of (Spec, arch params) and params are keyed separately, so the
+// spec alone identifies the plan.
+func planKey(p *fault.Plan) string {
+	if p == nil {
+		return "no-faults"
+	}
+	return fmt.Sprintf("%+v", p.Spec)
+}
+
+// optsKey canonicalises simulator options for cache keys, dereferencing the
+// pointer fields so the key reflects configuration, not addresses. The
+// Recorder is deliberately excluded: recorded runs never hit the cache.
+func optsKey(o sim.Options) string {
+	d, f := "dram=default", "dramfaults=plan"
+	if o.DRAM != nil {
+		d = fmt.Sprintf("dram=%+v", *o.DRAM)
+	}
+	if o.Faults != nil {
+		f = fmt.Sprintf("dramfaults=%+v", *o.Faults)
+	}
+	return fmt.Sprintf("cw=%d nbuf=%t %s %s max=%d stall=%d",
+		o.CoalesceWindow, o.DisableNBuffer, d, f, o.MaxCycles, o.StallWindow)
+}
+
+// freshInstance returns a private copy of a registry benchmark. Benchmarks
+// are stateful — Build records the golden reference Check reads — so one
+// instance must never serve two in-flight jobs; every evaluation gets its
+// own. Caller-defined benchmarks outside the registry are used as-is (their
+// callers own the sharing discipline).
+func freshInstance(b workloads.Benchmark) workloads.Benchmark {
+	if nb, err := workloads.ByName(b.Name()); err == nil {
+		return nb
+	}
+	return b
+}
+
+// evaluate is the cached benchmark evaluation every suite-level method funnels
+// through: one compile+simulate per distinct (benchmark, params, plan, opts)
+// point per session. The plan is cloned and the benchmark re-instantiated
+// inside the compute so parallel jobs share no mutable state; profiled runs
+// (non-nil Recorder) bypass the cache entirely.
+func (s *Session) evaluate(ctx context.Context, b workloads.Benchmark, plan *fault.Plan, opts sim.Options) (*BenchResult, error) {
+	b = freshInstance(b)
+	if opts.Recorder != nil {
+		return s.sys.RunBenchmarkCtx(ctx, b, plan.Clone(), opts)
+	}
+	k := exec.NewKey("core/bench", b.Name(),
+		fmt.Sprintf("%+v", s.sys.Params), planKey(plan), optsKey(opts))
+	return exec.Cached(s.engine.Cache(), k, func() (*BenchResult, error) {
+		return s.sys.RunBenchmarkCtx(ctx, b, plan.Clone(), opts)
+	})
+}
+
+// RunBenchmark evaluates one Table 4 benchmark under the session's plan and
+// options, through the cache.
+func (s *Session) RunBenchmark(ctx context.Context, b workloads.Benchmark) (*BenchResult, error) {
+	return s.evaluate(ctx, b, s.plan, s.simOpts)
+}
+
+// resolveBenches maps names to benchmarks (all of Table 4 when empty).
+func resolveBenches(names []string) ([]workloads.Benchmark, error) {
+	if len(names) == 0 {
+		return workloads.All(), nil
+	}
+	var out []workloads.Benchmark
+	for _, n := range names {
+		b, err := workloads.ByName(n)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, b)
+	}
+	return out, nil
+}
+
+// Table7 runs all thirteen benchmarks across the engine's workers and
+// returns their rows in paper order regardless of completion order.
+func (s *Session) Table7(ctx context.Context) ([]*BenchResult, error) {
+	benches := workloads.All()
+	rows := make([]*BenchResult, len(benches))
+	err := s.engine.Pool().Map(ctx, len(benches), func(ctx context.Context, i int) error {
+		r, err := s.evaluate(ctx, benches[i], s.plan, s.simOpts)
+		if err != nil {
+			return err
+		}
+		rows[i] = r
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return rows, nil
+}
+
+// Bench measures simulator throughput for the named benchmarks (all of
+// Table 4 when names is empty) across the engine's workers. Cycles are
+// deterministic; SimWallSeconds / CyclesPerSec are host measurements and
+// vary run to run (zero them before diffing outputs).
+func (s *Session) Bench(ctx context.Context, names []string) ([]BenchSim, error) {
+	benches, err := resolveBenches(names)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]BenchSim, len(benches))
+	err = s.engine.Pool().Map(ctx, len(benches), func(ctx context.Context, i int) error {
+		r, err := s.evaluate(ctx, benches[i], s.plan, s.simOpts)
+		if err != nil {
+			return err
+		}
+		bs := BenchSim{Benchmark: r.Name, Cycles: r.Cycles, SimWallSeconds: r.SimWallSec}
+		if bs.SimWallSeconds > 0 {
+			bs.CyclesPerSec = float64(bs.Cycles) / bs.SimWallSeconds
+		}
+		out[i] = bs
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Profile runs one benchmark with the observability subsystem armed. Always
+// uncached (the collector is a side effect) and single-threaded per call,
+// but safe to invoke from parallel jobs.
+func (s *Session) Profile(ctx context.Context, b workloads.Benchmark) (*ProfileResult, error) {
+	// ProfileBenchmark owns the collector; route the session's plan through a
+	// clone and a fresh benchmark instance like every other run.
+	b = freshInstance(b)
+	col, opts := newProfileRecorder(s.simOpts)
+	r, err := s.sys.RunBenchmarkCtx(ctx, b, s.plan.Clone(), opts)
+	if err != nil {
+		return nil, err
+	}
+	return assembleProfile(b.Name(), r, col), nil
+}
+
+// Explain reports whether a benchmark fits the session's fabric under its
+// fault plan, in source-level terms.
+func (s *Session) Explain(b workloads.Benchmark) (*compiler.Explanation, error) {
+	return s.sys.Explain(b, s.plan)
+}
+
+// Resilience sweeps fault fractions for one benchmark, fanning the points
+// across the engine's workers. The fraction-0 baseline is part of the same
+// fan-out; slowdowns are folded afterwards in fraction order, so the rows
+// are identical at any worker count.
+func (s *Session) Resilience(ctx context.Context, b workloads.Benchmark, base fault.Spec, fracs []float64) ([]ResilienceRow, error) {
+	if base.PCUs != 0 || base.PMUs != 0 || base.Switches != 0 || len(base.Events) != 0 {
+		return nil, fmt.Errorf("core: resilience: base spec must not disable tiles or schedule events")
+	}
+	if len(fracs) == 0 || fracs[0] != 0 {
+		fracs = append([]float64{0}, fracs...)
+	}
+	rows := make([]ResilienceRow, len(fracs))
+	err := s.engine.Pool().Map(ctx, len(fracs), func(ctx context.Context, i int) error {
+		row, err := s.resiliencePoint(ctx, b, base, fracs[i])
+		if err != nil {
+			return err
+		}
+		rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Slowdown baseline: the first feasible row (fraction 0 in practice),
+	// applied in fraction order after the parallel phase.
+	var baseCycles int64
+	for i := range rows {
+		if !rows[i].Feasible {
+			continue
+		}
+		if baseCycles == 0 {
+			baseCycles = rows[i].Cycles
+		}
+		if baseCycles > 0 {
+			rows[i].Slowdown = float64(rows[i].Cycles) / float64(baseCycles)
+		}
+	}
+	return rows, nil
+}
+
+// resiliencePoint evaluates one fraction of the sweep through the cache.
+func (s *Session) resiliencePoint(ctx context.Context, b workloads.Benchmark, base fault.Spec, frac float64) (ResilienceRow, error) {
+	row := ResilienceRow{
+		Fraction: frac,
+		PCUsDown: int(frac * float64(s.sys.Params.NumPCUs())),
+		PMUsDown: int(frac * float64(s.sys.Params.NumPMUs())),
+	}
+	spec := base
+	spec.PCUs, spec.PMUs = row.PCUsDown, row.PMUsDown
+	var plan *fault.Plan
+	if !spec.Zero() {
+		var err error
+		plan, err = fault.NewPlan(spec, s.sys.Params)
+		if err != nil {
+			return row, fmt.Errorf("core: resilience at %.0f%%: %w", 100*frac, err)
+		}
+	}
+	r, err := s.evaluate(ctx, b, plan, sim.Options{})
+	switch {
+	case err == nil:
+		row.Feasible = true
+		row.Cycles = r.Cycles
+	case isInfeasible(err):
+		row.Reason = err.Error()
+	default:
+		return row, fmt.Errorf("core: resilience at %.0f%%: %w", 100*frac, err)
+	}
+	return row, nil
+}
+
+// Recovery runs one benchmark under a timed fault schedule twice — baseline
+// with events stripped, then surviving them — as two parallel jobs, and
+// decomposes the difference.
+func (s *Session) Recovery(ctx context.Context, b workloads.Benchmark, spec fault.Spec) (*RecoveryReport, error) {
+	if len(spec.Events) == 0 {
+		return nil, fmt.Errorf("core: recovery: spec schedules no timed events")
+	}
+	baseSpec := spec
+	baseSpec.Events = nil
+	results := make([]*BenchResult, 2)
+	err := s.engine.Pool().Map(ctx, 2, func(ctx context.Context, i int) error {
+		sp := spec
+		label := "recovery"
+		if i == 0 {
+			sp, label = baseSpec, "recovery baseline"
+		}
+		var plan *fault.Plan
+		if !sp.Zero() {
+			var err error
+			plan, err = fault.NewPlan(sp, s.sys.Params)
+			if err != nil {
+				return fmt.Errorf("core: %s: %w", label, err)
+			}
+		}
+		r, err := s.evaluate(ctx, b, plan, sim.Options{})
+		if err != nil {
+			return fmt.Errorf("core: %s: %w", label, err)
+		}
+		results[i] = r
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	base, r := results[0], results[1]
+	rep := &RecoveryReport{
+		Name:           b.Name(),
+		Spec:           spec,
+		BaselineCycles: base.Cycles,
+		Cycles:         r.Cycles,
+	}
+	if r.Recovery != nil {
+		rep.Events = r.Recovery.Events
+		rep.DrainCycles = r.Recovery.DrainCycles
+		rep.ReconfigCycles = r.Recovery.ReconfigCycles
+		rep.LostBursts = r.Recovery.LostBursts
+	}
+	if re := rep.Cycles - rep.BaselineCycles - rep.DrainCycles - rep.ReconfigCycles; re > 0 {
+		rep.ReExecCycles = re
+	}
+	return rep, nil
+}
+
+// sweep lazily builds the shared DSE driver: benchmark virtual units are
+// allocated exactly once per session (hoisted out of every sweep entry
+// point) and all sweeps share the session's pool and cache.
+func (s *Session) sweep() (*dse.Sweep, error) {
+	s.dseOnce.Do(func() {
+		benches, err := dse.LoadBenches()
+		if err != nil {
+			s.dseLoadErr = err
+			return
+		}
+		s.dseSweep = dse.NewSweep(benches, s.sys.Params.Chip, s.engine)
+	})
+	return s.dseSweep, s.dseLoadErr
+}
+
+// Figure7 computes one Figure 7 panel (a-f) through the shared sweep.
+func (s *Session) Figure7(ctx context.Context, panelID string) (*dse.Panel, error) {
+	sw, err := s.sweep()
+	if err != nil {
+		return nil, err
+	}
+	return sw.Figure7(ctx, panelID)
+}
+
+// Table3 runs the parameter-selection sweep through the shared sweep.
+func (s *Session) Table3(ctx context.Context) ([]dse.Table3Row, error) {
+	sw, err := s.sweep()
+	if err != nil {
+		return nil, err
+	}
+	return sw.Table3(ctx)
+}
+
+// Table6 computes the generalization ladder through the shared sweep.
+func (s *Session) Table6(ctx context.Context) ([]dse.Ladder, error) {
+	sw, err := s.sweep()
+	if err != nil {
+		return nil, err
+	}
+	return sw.Table6(ctx, s.sys.Params)
+}
+
+// RatioStudy evaluates PMU:PCU provisioning through the shared sweep.
+func (s *Session) RatioStudy(ctx context.Context) ([]dse.RatioRow, error) {
+	sw, err := s.sweep()
+	if err != nil {
+		return nil, err
+	}
+	return sw.RatioStudy(ctx, s.sys.Params)
+}

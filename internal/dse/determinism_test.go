@@ -1,0 +1,60 @@
+package dse
+
+// Parallel sweeps must render byte-identical artefacts at any worker count,
+// and a sweep's area cache must make repeated panels free.
+
+import (
+	"context"
+	"testing"
+
+	"plasticine/internal/arch"
+	"plasticine/internal/exec"
+)
+
+func TestFigure7PanelDeterministicAcrossWorkers(t *testing.T) {
+	benches, err := LoadBenches()
+	if err != nil {
+		t.Fatal(err)
+	}
+	chip := arch.Default().Chip
+	ctx := context.Background()
+	seq, err := NewSweep(benches, chip, exec.NewEngine(1)).Figure7(ctx, "f")
+	if err != nil {
+		t.Fatalf("workers=1: %v", err)
+	}
+	par, err := NewSweep(benches, chip, exec.NewEngine(8)).Figure7(ctx, "f")
+	if err != nil {
+		t.Fatalf("workers=8: %v", err)
+	}
+	if seq.Format() != par.Format() {
+		t.Errorf("panel f differs across worker counts:\nworkers=1:\n%s\nworkers=8:\n%s",
+			seq.Format(), par.Format())
+	}
+}
+
+func TestSweepCacheMakesRepeatedPanelsFree(t *testing.T) {
+	benches, err := LoadBenches()
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := exec.NewEngine(4)
+	s := NewSweep(benches, arch.Default().Chip, eng)
+	ctx := context.Background()
+	if _, err := s.Figure7(ctx, "f"); err != nil {
+		t.Fatal(err)
+	}
+	first := eng.CacheStats()
+	if first.Misses == 0 {
+		t.Fatal("first panel evaluated nothing")
+	}
+	if _, err := s.Figure7(ctx, "f"); err != nil {
+		t.Fatal(err)
+	}
+	second := eng.CacheStats()
+	if second.Misses != first.Misses {
+		t.Errorf("repeated panel recompiled design points: misses %d -> %d", first.Misses, second.Misses)
+	}
+	if second.Hits <= first.Hits {
+		t.Errorf("repeated panel recorded no cache hits: %d -> %d", first.Hits, second.Hits)
+	}
+}

@@ -5,6 +5,7 @@
 package dse
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -112,50 +113,11 @@ func benchPCUArea(b *Bench, p arch.PCUParams, chip arch.ChipParams) float64 {
 	return total
 }
 
-// minimizeArea performs coordinate descent over the free PCU parameters
-// (those not in fixed) to find the minimum total PCU area for a benchmark —
-// the paper's "sweep the remaining space to find the minimum possible PCU
-// area" (Section 3.7).
+// minimizeArea is the uncached, sequential form of Sweep.minimizeArea.
+//
+// Deprecated: kept for existing callers and tests; use Sweep.minimizeArea.
 func minimizeArea(b *Bench, fixed map[string]int, chip arch.ChipParams) (arch.PCUParams, float64, error) {
-	p := maxParams()
-	for name, v := range fixed {
-		f, err := getParam(&p, name)
-		if err != nil {
-			return p, Infeasible, fmt.Errorf("dse: %s: fixed grid: %w", b.Name, err)
-		}
-		*f = v
-	}
-	best := benchPCUArea(b, p, chip)
-	if math.IsInf(best, 1) {
-		return p, Infeasible, nil
-	}
-	order := []string{"stages", "registers", "vectorIns", "vectorOuts", "scalarIns", "scalarOuts"}
-	for pass := 0; pass < 2; pass++ {
-		for _, name := range order {
-			if _, isFixed := fixed[name]; isFixed {
-				continue
-			}
-			f, err := getParam(&p, name)
-			if err != nil {
-				return p, Infeasible, fmt.Errorf("dse: %s: %w", b.Name, err)
-			}
-			bestV := *f
-			for _, v := range pcuRanges[name] {
-				q := p
-				qf, err := getParam(&q, name)
-				if err != nil {
-					return p, Infeasible, fmt.Errorf("dse: %s: %w", b.Name, err)
-				}
-				*qf = v
-				if a := benchPCUArea(b, q, chip); a < best {
-					best, bestV = a, v
-				}
-			}
-			f, _ = getParam(&p, name)
-			*f = bestV
-		}
-	}
-	return p, best, nil
+	return (&Sweep{Chip: chip}).minimizeArea(b, fixed)
 }
 
 // Panel is one Figure 7 sub-plot.
@@ -171,13 +133,17 @@ type Panel struct {
 	Average []float64
 }
 
-// panelSpecs follows the Figure 7 caption: each parameter is swept with the
-// previously selected parameters fixed at their chosen values.
-var panelSpecs = []struct {
+// panelSpec names one Figure 7 panel: the swept parameter and the
+// previously selected parameters it holds fixed.
+type panelSpec struct {
 	id    string
 	param string
 	fixed map[string]int
-}{
+}
+
+// panelSpecs follows the Figure 7 caption: each parameter is swept with the
+// previously selected parameters fixed at their chosen values.
+var panelSpecs = []panelSpec{
 	{"a", "stages", map[string]int{}},
 	{"b", "registers", map[string]int{"stages": 6}},
 	{"c", "scalarIns", map[string]int{"stages": 6, "registers": 6}},
@@ -186,71 +152,11 @@ var panelSpecs = []struct {
 	{"f", "vectorOuts", map[string]int{"stages": 6, "registers": 6, "vectorIns": 3}},
 }
 
-// Figure7 computes one panel (a-f).
+// Figure7 computes one panel (a-f) sequentially and uncached.
+//
+// Deprecated: kept for existing callers and tests; use Sweep.Figure7.
 func Figure7(panelID string, benches []*Bench, chip arch.ChipParams) (*Panel, error) {
-	var spec *struct {
-		id    string
-		param string
-		fixed map[string]int
-	}
-	for i := range panelSpecs {
-		if panelSpecs[i].id == panelID {
-			spec = &panelSpecs[i]
-		}
-	}
-	if spec == nil {
-		return nil, fmt.Errorf("dse: unknown Figure 7 panel %q (want a-f)", panelID)
-	}
-	panel := &Panel{Param: spec.param, Fixed: spec.fixed, Values: panelValues[spec.param]}
-	for _, b := range benches {
-		panel.Benchmarks = append(panel.Benchmarks, b.Name)
-		row := make([]float64, len(panel.Values))
-		min := Infeasible
-		for i, v := range panel.Values {
-			fixed := map[string]int{spec.param: v}
-			for k, fv := range spec.fixed {
-				fixed[k] = fv
-			}
-			_, area, err := minimizeArea(b, fixed, chip)
-			if err != nil {
-				return nil, fmt.Errorf("dse: panel %s, %s=%d: %w", panelID, spec.param, v, err)
-			}
-			row[i] = area
-			if area < min {
-				min = area
-			}
-		}
-		for i := range row {
-			if math.IsInf(row[i], 1) {
-				row[i] = Infeasible
-			} else {
-				row[i] = row[i]/min - 1
-			}
-		}
-		panel.Overhead = append(panel.Overhead, row)
-	}
-	panel.Average = make([]float64, len(panel.Values))
-	for i := range panel.Values {
-		sum, n := 0.0, 0
-		feasibleForAll := true
-		for _, row := range panel.Overhead {
-			if math.IsInf(row[i], 1) {
-				feasibleForAll = false
-				continue
-			}
-			sum += row[i]
-			n++
-		}
-		if n == 0 || !feasibleForAll {
-			panel.Average[i] = Infeasible
-			if n > 0 {
-				panel.Average[i] = sum / float64(n) // average of feasible ones
-			}
-		} else {
-			panel.Average[i] = sum / float64(n)
-		}
-	}
-	return panel, nil
+	return NewSweep(benches, chip, nil).Figure7(context.Background(), panelID)
 }
 
 // BestValue returns the swept value with the lowest average overhead,
@@ -312,22 +218,11 @@ type Table3Row struct {
 	Paper  int
 }
 
-// Table3 runs the panel sequence and reports the selected value per
-// parameter next to the paper's choice.
+// Table3 runs the panel sequence sequentially and uncached.
+//
+// Deprecated: kept for existing callers and tests; use Sweep.Table3.
 func Table3(benches []*Bench, chip arch.ChipParams) ([]Table3Row, error) {
-	paper := map[string]int{
-		"stages": 6, "registers": 6, "scalarIns": 6,
-		"scalarOuts": 5, "vectorIns": 3, "vectorOuts": 3,
-	}
-	var out []Table3Row
-	for _, spec := range panelSpecs {
-		p, err := Figure7(spec.id, benches, chip)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, Table3Row{Param: spec.param, Chosen: p.BestValue(), Paper: paper[spec.param]})
-	}
-	return out, nil
+	return NewSweep(benches, chip, nil).Table3(context.Background())
 }
 
 // FormatTable3 renders the selection table.

@@ -27,8 +27,24 @@ type RatioRow struct {
 }
 
 // RatioStudy evaluates PMU:PCU provisioning choices at a fixed total unit
-// count (the 16x8 array of 128 units).
+// count (the 16x8 array of 128 units), sequentially and uncached.
+//
+// Deprecated: kept for existing callers and tests; use Sweep.RatioStudy.
 func RatioStudy(benches []*Bench, params arch.Params) ([]RatioRow, error) {
+	demands := make([]*compiler.Partitioned, len(benches))
+	for i, b := range benches {
+		part, err := demand(b, params)
+		if err != nil {
+			return nil, err
+		}
+		demands[i] = part
+	}
+	return ratioRows(demands, params), nil
+}
+
+// ratioRows folds per-benchmark unit demands into the provisioning table.
+// Pure function of its inputs, shared by the sequential and parallel paths.
+func ratioRows(demands []*compiler.Partitioned, params arch.Params) []RatioRow {
 	total := params.Chip.Rows * params.Chip.Cols
 	ratios := []struct{ pmu, pcu int }{
 		{1, 3}, // PCU-heavy
@@ -42,11 +58,7 @@ func RatioStudy(benches []*Bench, params arch.Params) ([]RatioRow, error) {
 		nPCU := total - nPMU
 		row := RatioRow{PMUs: r.pmu, PCUs: r.pcu}
 		var utilSum float64
-		for _, b := range benches {
-			part, err := demand(b, params)
-			if err != nil {
-				return nil, err
-			}
+		for _, part := range demands {
 			if part.TotalPCUs <= nPCU && part.TotalPMUs <= nPMU {
 				row.Fit++
 				utilSum += (float64(part.TotalPCUs) + float64(part.TotalPMUs)) / float64(total)
@@ -62,7 +74,7 @@ func RatioStudy(benches []*Bench, params arch.Params) ([]RatioRow, error) {
 		row.EnergyProxy = area * (1 - row.AvgUnitUtil)
 		out = append(out, row)
 	}
-	return out, nil
+	return out
 }
 
 // dedupRatios drops equivalent ratios (2:2 == 1:1).

@@ -1,0 +1,256 @@
+package dse
+
+import (
+	"context"
+	"fmt"
+	"math"
+
+	"plasticine/internal/arch"
+	"plasticine/internal/compiler"
+	"plasticine/internal/exec"
+)
+
+// Sweep is the design-space exploration driver: the benchmark set, the chip
+// organisation, and the evaluation engine (worker pool + design-point cache)
+// every sweep draws from. Figure 7, Table 3, Table 6 and the ratio study all
+// hit overlapping regions of the parameter space — Table 3 alone re-visits
+// each panel's grid — so sharing one cache means no design point is ever
+// partitioned twice.
+//
+// Benches must be treated as immutable once the sweep starts: jobs on many
+// goroutines partition the same virtual units concurrently (PartitionPCU is
+// read-only by contract), and cache keys assume a Bench's name uniquely
+// identifies its unit set. A nil Engine runs sequentially and uncached.
+type Sweep struct {
+	Benches []*Bench
+	Chip    arch.ChipParams
+	Engine  *exec.Engine
+}
+
+// NewSweep builds a sweep over benches on chip, evaluated by eng (nil means
+// sequential and uncached — the behaviour of the deprecated free functions).
+func NewSweep(benches []*Bench, chip arch.ChipParams, eng *exec.Engine) *Sweep {
+	return &Sweep{Benches: benches, Chip: chip, Engine: eng}
+}
+
+// benchArea is benchPCUArea through the design-point cache, keyed by the
+// bench's name plus every PCU and chip parameter. Infeasible points are
+// cached like any other value, so a point that cannot map fails exactly once.
+func (s *Sweep) benchArea(b *Bench, p arch.PCUParams) float64 {
+	k := exec.NewKey("dse/pcu-area", b.Name, fmt.Sprintf("%+v", p), fmt.Sprintf("%+v", s.Chip))
+	v, _ := exec.Cached(s.Engine.Cache(), k, func() (float64, error) {
+		return benchPCUArea(b, p, s.Chip), nil
+	})
+	return v
+}
+
+// minimizeArea performs coordinate descent over the free PCU parameters
+// (those not in fixed) to find the minimum total PCU area for a benchmark —
+// the paper's "sweep the remaining space to find the minimum possible PCU
+// area" (Section 3.7). The descent is sequential (each step depends on the
+// last) but every point it probes goes through the shared cache, and
+// neighbouring grid points probe heavily overlapping sets.
+func (s *Sweep) minimizeArea(b *Bench, fixed map[string]int) (arch.PCUParams, float64, error) {
+	p := maxParams()
+	for name, v := range fixed {
+		f, err := getParam(&p, name)
+		if err != nil {
+			return p, Infeasible, fmt.Errorf("dse: %s: fixed grid: %w", b.Name, err)
+		}
+		*f = v
+	}
+	best := s.benchArea(b, p)
+	if math.IsInf(best, 1) {
+		return p, Infeasible, nil
+	}
+	order := []string{"stages", "registers", "vectorIns", "vectorOuts", "scalarIns", "scalarOuts"}
+	for pass := 0; pass < 2; pass++ {
+		for _, name := range order {
+			if _, isFixed := fixed[name]; isFixed {
+				continue
+			}
+			f, err := getParam(&p, name)
+			if err != nil {
+				return p, Infeasible, fmt.Errorf("dse: %s: %w", b.Name, err)
+			}
+			bestV := *f
+			for _, v := range pcuRanges[name] {
+				q := p
+				qf, err := getParam(&q, name)
+				if err != nil {
+					return p, Infeasible, fmt.Errorf("dse: %s: %w", b.Name, err)
+				}
+				*qf = v
+				if a := s.benchArea(b, q); a < best {
+					best, bestV = a, v
+				}
+			}
+			f, _ = getParam(&p, name)
+			*f = bestV
+		}
+	}
+	return p, best, nil
+}
+
+// Figure7 computes one panel (a-f), fanning the benchmark x value grid
+// across the engine's workers. Each job owns one cell of a preallocated
+// areas matrix and reads only immutable inputs, so the panel — including its
+// Format rendering — is byte-identical at any worker count.
+func (s *Sweep) Figure7(ctx context.Context, panelID string) (*Panel, error) {
+	spec := findPanel(panelID)
+	if spec == nil {
+		return nil, fmt.Errorf("dse: unknown Figure 7 panel %q (want a-f)", panelID)
+	}
+	values := panelValues[spec.param]
+	panel := &Panel{Param: spec.param, Fixed: spec.fixed, Values: values}
+	nV := len(values)
+	areas := make([][]float64, len(s.Benches))
+	for i := range areas {
+		areas[i] = make([]float64, nV)
+	}
+	err := s.Engine.Pool().Map(ctx, len(s.Benches)*nV, func(_ context.Context, i int) error {
+		bi, vi := i/nV, i%nV
+		b, v := s.Benches[bi], values[vi]
+		fixed := map[string]int{spec.param: v}
+		for k, fv := range spec.fixed {
+			fixed[k] = fv
+		}
+		_, area, err := s.minimizeArea(b, fixed)
+		if err != nil {
+			return fmt.Errorf("dse: panel %s, %s=%d: %w", panelID, spec.param, v, err)
+		}
+		areas[bi][vi] = area
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for bi, b := range s.Benches {
+		panel.Benchmarks = append(panel.Benchmarks, b.Name)
+		row := areas[bi]
+		min := Infeasible
+		for _, a := range row {
+			if a < min {
+				min = a
+			}
+		}
+		for i := range row {
+			if math.IsInf(row[i], 1) {
+				row[i] = Infeasible
+			} else {
+				row[i] = row[i]/min - 1
+			}
+		}
+		panel.Overhead = append(panel.Overhead, row)
+	}
+	panel.Average = make([]float64, nV)
+	for i := range values {
+		sum, n := 0.0, 0
+		feasibleForAll := true
+		for _, row := range panel.Overhead {
+			if math.IsInf(row[i], 1) {
+				feasibleForAll = false
+				continue
+			}
+			sum += row[i]
+			n++
+		}
+		if n == 0 || !feasibleForAll {
+			panel.Average[i] = Infeasible
+			if n > 0 {
+				panel.Average[i] = sum / float64(n) // average of feasible ones
+			}
+		} else {
+			panel.Average[i] = sum / float64(n)
+		}
+	}
+	return panel, nil
+}
+
+// Table3 runs the panel sequence and reports the selected value per
+// parameter next to the paper's choice. Panels run in order (each fixes the
+// previous selections) with full internal parallelism; the shared cache
+// makes the Table 3 pass far cheaper than six cold Figure 7 panels.
+func (s *Sweep) Table3(ctx context.Context) ([]Table3Row, error) {
+	paper := map[string]int{
+		"stages": 6, "registers": 6, "scalarIns": 6,
+		"scalarOuts": 5, "vectorIns": 3, "vectorOuts": 3,
+	}
+	var out []Table3Row
+	for _, spec := range panelSpecs {
+		p, err := s.Figure7(ctx, spec.id)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Table3Row{Param: spec.param, Chosen: p.BestValue(), Paper: paper[spec.param]})
+	}
+	return out, nil
+}
+
+// Table6 computes the generalization ladder, one benchmark row per job; the
+// geometric mean folds the finished rows in bench order, so the table is
+// identical at any worker count.
+func (s *Sweep) Table6(ctx context.Context, params arch.Params) ([]Ladder, error) {
+	rows := make([]Ladder, len(s.Benches))
+	err := s.Engine.Pool().Map(ctx, len(s.Benches), func(_ context.Context, i int) error {
+		r, err := s.table6Row(s.Benches[i], params)
+		if err != nil {
+			return err
+		}
+		rows[i] = r
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	geo := Ladder{Name: "GeoMean", A: 1, B: 1, C: 1, D: 1, E: 1, CumB: 1, CumC: 1, CumD: 1, CumE: 1}
+	for _, r := range rows {
+		geo.A *= r.A
+		geo.B *= r.B
+		geo.C *= r.C
+		geo.D *= r.D
+		geo.E *= r.E
+		geo.CumB *= r.CumB
+		geo.CumC *= r.CumC
+		geo.CumD *= r.CumD
+		geo.CumE *= r.CumE
+	}
+	n := float64(len(rows))
+	pow := func(x float64) float64 { return math.Pow(x, 1/n) }
+	geo.A, geo.B, geo.C, geo.D, geo.E = pow(geo.A), pow(geo.B), pow(geo.C), pow(geo.D), pow(geo.E)
+	geo.CumB, geo.CumC, geo.CumD, geo.CumE = pow(geo.CumB), pow(geo.CumC), pow(geo.CumD), pow(geo.CumE)
+	return append(rows, geo), nil
+}
+
+// RatioStudy evaluates PMU:PCU provisioning choices at a fixed total unit
+// count. Per-benchmark unit demand is independent of the ratio under test,
+// so it is computed once per benchmark — in parallel, through the cache —
+// and every ratio row reads the same demand table.
+func (s *Sweep) RatioStudy(ctx context.Context, params arch.Params) ([]RatioRow, error) {
+	demands := make([]*compiler.Partitioned, len(s.Benches))
+	err := s.Engine.Pool().Map(ctx, len(s.Benches), func(_ context.Context, i int) error {
+		b := s.Benches[i]
+		k := exec.NewKey("dse/demand", b.Name, fmt.Sprintf("%+v", params))
+		part, err := exec.Cached(s.Engine.Cache(), k, func() (*compiler.Partitioned, error) {
+			return demand(b, params)
+		})
+		if err != nil {
+			return err
+		}
+		demands[i] = part
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return ratioRows(demands, params), nil
+}
+
+func findPanel(id string) *panelSpec {
+	for i := range panelSpecs {
+		if panelSpecs[i].id == id {
+			return &panelSpecs[i]
+		}
+	}
+	return nil
+}

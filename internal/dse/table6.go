@@ -1,6 +1,8 @@
 package dse
 
 import (
+	"context"
+	"fmt"
 	"math"
 
 	"plasticine/internal/arch"
@@ -25,9 +27,13 @@ type Ladder struct {
 // minimizeArea), so heterogeneous sizing is never worse than the
 // homogeneous compromise; the ASIC variant strips configuration overhead
 // (hardwired ops, exactly the live registers, no input FIFOs or control).
-func unitAreas(u *compiler.VirtualPCU, chip arch.ChipParams) (asic, het float64) {
-	single := &Bench{Name: u.Name, PCUs: []*compiler.VirtualPCU{u}}
-	best, area, err := minimizeArea(single, map[string]int{}, chip)
+// owner/ui qualify the cache identity: unit names repeat across benchmarks,
+// so the single-unit pseudo-bench is named by its owning benchmark and unit
+// index to keep design-point cache keys unique.
+func (s *Sweep) unitAreas(owner string, ui int, u *compiler.VirtualPCU) (asic, het float64) {
+	chip := s.Chip
+	single := &Bench{Name: fmt.Sprintf("%s/unit%d:%s", owner, ui, u.Name), PCUs: []*compiler.VirtualPCU{u}}
+	best, area, err := s.minimizeArea(single, map[string]int{})
 	if err != nil || math.IsInf(area, 1) {
 		best = maxParams()
 	}
@@ -81,85 +87,74 @@ func hetPMUArea(m *compiler.VirtualPMU) float64 {
 	return float64(m.Unroll) * (sram + addr + arch.ControlArea())
 }
 
-// Table6 computes the ladder for every benchmark plus the geometric mean.
-func Table6(benches []*Bench, params arch.Params) ([]Ladder, error) {
-	var rows []Ladder
-	geo := Ladder{Name: "GeoMean", A: 1, B: 1, C: 1, D: 1, E: 1, CumB: 1, CumC: 1, CumD: 1, CumE: 1}
-	chip := params.Chip
-	for _, b := range benches {
-		var asicP, hetP float64
-		for _, u := range b.PCUs {
-			a, h := unitAreas(u, chip)
-			asicP += a
-			hetP += h
-		}
-		var asicM, hetM, maxHet float64
-		var pmuCount int
-		for _, m := range b.PMUs {
-			asicM += asicPMUArea(m)
-			h := hetPMUArea(m) / float64(m.Unroll)
-			hetM += h * float64(m.Unroll)
-			if h > maxHet {
-				maxHet = h
-			}
-			pmuCount += m.Unroll
-		}
-		// b: homogeneous PMUs within the app (all sized like the largest).
-		homM := maxHet * float64(pmuCount)
-		// c: homogeneous PCUs within the app (best single box).
-		_, homP, err := minimizeArea(b, map[string]int{}, chip)
-		if err != nil {
-			return nil, err
-		}
-		if math.IsInf(homP, 1) {
-			homP = hetP // cannot homogenise; treat as unchanged
-		}
-		// d: generalized PMUs (the final 256 KB design).
-		var genM float64
-		for _, m := range b.PMUs {
-			pm, err := compiler.PartitionPMU(m, params)
-			if err != nil {
-				return nil, err
-			}
-			genM += float64(pm.Units()) * arch.PMUArea(params.PMU, chip)
-		}
-		// e: generalized PCUs (the final PCU parameters).
-		genP := benchPCUArea(b, params.PCU, chip)
-		if math.IsInf(genP, 1) {
-			genP = homP
-		}
-
-		a0 := asicP + asicM
-		a1 := hetP + hetM
-		a2 := hetP + homM
-		a3 := homP + homM
-		a4 := homP + genM
-		a5 := genP + genM
-		r := Ladder{
-			Name: b.Name,
-			A:    a1 / a0,
-			B:    a2 / a1, CumB: a2 / a0,
-			C: a3 / a2, CumC: a3 / a0,
-			D: a4 / a3, CumD: a4 / a0,
-			E: a5 / a4, CumE: a5 / a0,
-		}
-		rows = append(rows, r)
-		geo.A *= r.A
-		geo.B *= r.B
-		geo.C *= r.C
-		geo.D *= r.D
-		geo.E *= r.E
-		geo.CumB *= r.CumB
-		geo.CumC *= r.CumC
-		geo.CumD *= r.CumD
-		geo.CumE *= r.CumE
+// table6Row computes one benchmark's ladder row; every PCU sizing goes
+// through the sweep's design-point cache.
+func (s *Sweep) table6Row(b *Bench, params arch.Params) (Ladder, error) {
+	chip := s.Chip
+	var asicP, hetP float64
+	for ui, u := range b.PCUs {
+		a, h := s.unitAreas(b.Name, ui, u)
+		asicP += a
+		hetP += h
 	}
-	n := float64(len(rows))
-	pow := func(x float64) float64 { return math.Pow(x, 1/n) }
-	geo.A, geo.B, geo.C, geo.D, geo.E = pow(geo.A), pow(geo.B), pow(geo.C), pow(geo.D), pow(geo.E)
-	geo.CumB, geo.CumC, geo.CumD, geo.CumE = pow(geo.CumB), pow(geo.CumC), pow(geo.CumD), pow(geo.CumE)
-	rows = append(rows, geo)
-	return rows, nil
+	var asicM, hetM, maxHet float64
+	var pmuCount int
+	for _, m := range b.PMUs {
+		asicM += asicPMUArea(m)
+		h := hetPMUArea(m) / float64(m.Unroll)
+		hetM += h * float64(m.Unroll)
+		if h > maxHet {
+			maxHet = h
+		}
+		pmuCount += m.Unroll
+	}
+	// b: homogeneous PMUs within the app (all sized like the largest).
+	homM := maxHet * float64(pmuCount)
+	// c: homogeneous PCUs within the app (best single box).
+	_, homP, err := s.minimizeArea(b, map[string]int{})
+	if err != nil {
+		return Ladder{}, err
+	}
+	if math.IsInf(homP, 1) {
+		homP = hetP // cannot homogenise; treat as unchanged
+	}
+	// d: generalized PMUs (the final 256 KB design).
+	var genM float64
+	for _, m := range b.PMUs {
+		pm, err := compiler.PartitionPMU(m, params)
+		if err != nil {
+			return Ladder{}, err
+		}
+		genM += float64(pm.Units()) * arch.PMUArea(params.PMU, chip)
+	}
+	// e: generalized PCUs (the final PCU parameters).
+	genP := s.benchArea(b, params.PCU)
+	if math.IsInf(genP, 1) {
+		genP = homP
+	}
+
+	a0 := asicP + asicM
+	a1 := hetP + hetM
+	a2 := hetP + homM
+	a3 := homP + homM
+	a4 := homP + genM
+	a5 := genP + genM
+	return Ladder{
+		Name: b.Name,
+		A:    a1 / a0,
+		B:    a2 / a1, CumB: a2 / a0,
+		C: a3 / a2, CumC: a3 / a0,
+		D: a4 / a3, CumD: a4 / a0,
+		E: a5 / a4, CumE: a5 / a0,
+	}, nil
+}
+
+// Table6 computes the ladder for every benchmark plus the geometric mean,
+// sequentially and uncached.
+//
+// Deprecated: kept for existing callers and tests; use Sweep.Table6.
+func Table6(benches []*Bench, params arch.Params) ([]Ladder, error) {
+	return NewSweep(benches, params.Chip, nil).Table6(context.Background(), params)
 }
 
 // FormatTable6 renders the ladder in the paper's layout.

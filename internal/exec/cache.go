@@ -1,0 +1,177 @@
+package exec
+
+import (
+	"fmt"
+	"hash/fnv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Key is a content-addressed cache key: an FNV-1a fingerprint over a
+// canonical string. The full string is kept alongside the hash so the cache
+// can disambiguate fingerprint collisions instead of silently returning the
+// wrong entry.
+type Key struct {
+	hash uint64
+	str  string
+}
+
+// NewKey fingerprints the canonical parts of a cache key. Parts are joined
+// with a NUL separator so ("ab", "c") and ("a", "bc") hash differently.
+func NewKey(parts ...string) Key {
+	s := strings.Join(parts, "\x00")
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return Key{hash: h.Sum64(), str: s}
+}
+
+// Hash returns the 64-bit fingerprint.
+func (k Key) Hash() uint64 { return k.hash }
+
+// String returns the full canonical key string.
+func (k Key) String() string { return k.str }
+
+// CacheStats is a point-in-time cache counter snapshot. Misses equals the
+// number of distinct keys ever computed, so for a fixed job set it is
+// deterministic regardless of worker count or arrival order.
+type CacheStats struct {
+	Hits, Misses int64
+	// Collisions counts distinct keys that shared a 64-bit fingerprint with
+	// an earlier key; they are stored and served correctly, just counted.
+	Collisions int64
+}
+
+func (s CacheStats) String() string {
+	total := s.Hits + s.Misses
+	pct := 0.0
+	if total > 0 {
+		pct = 100 * float64(s.Hits) / float64(total)
+	}
+	out := fmt.Sprintf("cache: %d hits, %d misses (%.0f%% hit rate)", s.Hits, s.Misses, pct)
+	if s.Collisions > 0 {
+		out += fmt.Sprintf(", %d fingerprint collisions", s.Collisions)
+	}
+	return out
+}
+
+// Cache is a content-addressed in-memory result cache, safe for concurrent
+// use. Entries are bucketed by 64-bit fingerprint and verified against the
+// full key string, so colliding fingerprints coexist. Each key computes at
+// most once: concurrent requesters of an in-flight key block until the
+// first computation finishes (errors are cached too, so a failing point
+// fails once, identically, for every requester). A nil *Cache disables
+// caching: Do simply calls compute.
+type Cache struct {
+	mu      sync.Mutex
+	buckets map[uint64][]*cacheEntry
+
+	hits       atomic.Int64
+	misses     atomic.Int64
+	collisions atomic.Int64
+}
+
+type cacheEntry struct {
+	key  string
+	once sync.Once
+	val  any
+	err  error
+}
+
+// NewCache returns an empty cache.
+func NewCache() *Cache {
+	return &Cache{buckets: map[uint64][]*cacheEntry{}}
+}
+
+// Do returns the cached value for k, computing and storing it on first use.
+// Nil-safe: a nil cache just runs compute.
+func (c *Cache) Do(k Key, compute func() (any, error)) (any, error) {
+	if c == nil {
+		return compute()
+	}
+	c.mu.Lock()
+	var e *cacheEntry
+	for _, cand := range c.buckets[k.hash] {
+		if cand.key == k.str {
+			e = cand
+			break
+		}
+	}
+	hit := e != nil
+	if e == nil {
+		if len(c.buckets[k.hash]) > 0 {
+			c.collisions.Add(1)
+		}
+		e = &cacheEntry{key: k.str}
+		c.buckets[k.hash] = append(c.buckets[k.hash], e)
+	}
+	c.mu.Unlock()
+	if hit {
+		c.hits.Add(1)
+	} else {
+		c.misses.Add(1)
+	}
+	e.once.Do(func() { e.val, e.err = compute() })
+	return e.val, e.err
+}
+
+// Stats snapshots the hit/miss/collision counters. Nil-safe.
+func (c *Cache) Stats() CacheStats {
+	if c == nil {
+		return CacheStats{}
+	}
+	return CacheStats{
+		Hits:       c.hits.Load(),
+		Misses:     c.misses.Load(),
+		Collisions: c.collisions.Load(),
+	}
+}
+
+// Cached is the typed convenience wrapper over Cache.Do.
+func Cached[T any](c *Cache, k Key, compute func() (T, error)) (T, error) {
+	v, err := c.Do(k, func() (any, error) { return compute() })
+	if v == nil {
+		var zero T
+		return zero, err
+	}
+	return v.(T), err
+}
+
+// Engine bundles the worker pool and the cache — the handle the sweeps and
+// core.Session share so every consumer draws from the same workers and
+// never evaluates the same point twice. A nil *Engine is valid and means
+// sequential, uncached evaluation.
+type Engine struct {
+	pool  *Pool
+	cache *Cache
+}
+
+// NewEngine returns an engine with the given worker count (<= 0 means
+// runtime.NumCPU()) and a fresh cache.
+func NewEngine(workers int) *Engine {
+	return &Engine{pool: NewPool(workers), cache: NewCache()}
+}
+
+// Pool returns the engine's worker pool. Nil-safe (nil engine → nil pool,
+// which runs sequentially).
+func (e *Engine) Pool() *Pool {
+	if e == nil {
+		return nil
+	}
+	return e.pool
+}
+
+// Cache returns the engine's result cache. Nil-safe (nil engine → nil
+// cache, which disables caching).
+func (e *Engine) Cache() *Cache {
+	if e == nil {
+		return nil
+	}
+	return e.cache
+}
+
+// Workers reports the engine's concurrency. Nil-safe.
+func (e *Engine) Workers() int { return e.Pool().Workers() }
+
+// CacheStats snapshots the engine's cache counters. Nil-safe.
+func (e *Engine) CacheStats() CacheStats { return e.Cache().Stats() }

@@ -1,0 +1,108 @@
+// Package exec is the parallel evaluation engine: a fixed worker pool that
+// fans independent compile→simulate→profile jobs across cores, plus a
+// content-addressed in-memory cache so identical design points are never
+// evaluated twice. The paper's experiments are embarrassingly parallel —
+// thirteen Table 4 benchmarks and thousands of Figure 7 / Table 3 design
+// points — and every consumer (the DSE sweeps, the bench suite, the
+// resilience sweep, core.Session) draws from the same pool and cache.
+//
+// Determinism contract: a job writes only into its own index-addressed slot,
+// reads only immutable shared inputs, and seeds any randomness from its own
+// key. Under that contract the merged output is byte-identical for any
+// worker count, which the determinism tests in core and dse enforce.
+package exec
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Pool is a fixed-size worker pool. The zero value and a nil *Pool both run
+// jobs sequentially on the calling goroutine.
+type Pool struct {
+	workers int
+}
+
+// NewPool returns a pool with the given number of workers; n <= 0 means
+// runtime.NumCPU().
+func NewPool(n int) *Pool {
+	if n <= 0 {
+		n = runtime.NumCPU()
+	}
+	return &Pool{workers: n}
+}
+
+// Workers reports the pool's concurrency. Nil-safe (a nil pool has 1).
+func (p *Pool) Workers() int {
+	if p == nil || p.workers < 1 {
+		return 1
+	}
+	return p.workers
+}
+
+// Map runs fn(ctx, i) for every i in [0, n), spread across the pool's
+// workers. Jobs must be independent: each writes only its own slot of a
+// caller-allocated result slice, so the merged result is identical for any
+// worker count.
+//
+// The first real (non-cancellation) failure cancels the derived context,
+// stopping in-flight and unstarted jobs early. The returned error is the
+// failure with the lowest job index — the same error a sequential run would
+// return — so error output is deterministic too. Pure cancellation errors
+// from sibling jobs reacting to that cancel are not reported as failures.
+func (p *Pool) Map(ctx context.Context, n int, fn func(ctx context.Context, i int) error) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if n <= 0 {
+		return nil
+	}
+	workers := p.Workers()
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := fn(ctx, i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	jobCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	errs := make([]error, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n || jobCtx.Err() != nil {
+					return
+				}
+				if err := fn(jobCtx, i); err != nil {
+					errs[i] = err
+					if !errors.Is(err, context.Canceled) {
+						cancel() // stop the fleet on the first real failure
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil && !errors.Is(err, context.Canceled) {
+			return err
+		}
+	}
+	return ctx.Err()
+}

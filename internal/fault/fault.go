@@ -264,6 +264,37 @@ func ManualPlan(pcus, pmus, sws []Coord, downChans []bool) *Plan {
 	return plan
 }
 
+// Clone returns a deep copy of the plan. The recovery controller mutates a
+// plan in place as timed events fire (Extend marks victims statically
+// dead), so concurrent evaluation jobs must each run against their own
+// copy; sharing one plan across a worker pool is a data race and breaks
+// run-to-run determinism. Nil-safe.
+func (p *Plan) Clone() *Plan {
+	if p == nil {
+		return nil
+	}
+	cloneSet := func(m map[Coord]bool) map[Coord]bool {
+		if m == nil {
+			return nil
+		}
+		out := make(map[Coord]bool, len(m))
+		for c, v := range m {
+			out[c] = v
+		}
+		return out
+	}
+	c := &Plan{
+		Spec:        p.Spec,
+		disabledPCU: cloneSet(p.disabledPCU),
+		disabledPMU: cloneSet(p.disabledPMU),
+		disabledSw:  cloneSet(p.disabledSw),
+		downChan:    append([]bool(nil), p.downChan...),
+		events:      append([]Event(nil), p.events...),
+	}
+	c.Spec.Events = append([]EventSpec(nil), p.Spec.Events...)
+	return c
+}
+
 // PCUDisabled reports whether the PCU tile at (x, y) is faulted. Nil-safe.
 func (p *Plan) PCUDisabled(x, y int) bool {
 	return p != nil && p.disabledPCU[Coord{x, y}]

@@ -2,11 +2,18 @@ package sim
 
 import (
 	"container/heap"
+	"context"
 	"fmt"
 
 	"plasticine/internal/dram"
 	"plasticine/internal/trace"
 )
+
+// ctxCheckInterval is how often (in simulated cycles) the engine polls its
+// context for cancellation. Checking every cycle would put an atomic load in
+// the hottest loop; every 4096 cycles bounds cancellation latency to a few
+// microseconds of host time while costing nothing measurable.
+const ctxCheckInterval = 4096
 
 // agOutstanding is the number of in-flight bursts one transfer's address
 // generator may keep in the coalescing unit (Section 3.4: buffers for
@@ -76,6 +83,12 @@ type engine struct {
 	// cycles (0 = the defaultStallWindow; negative disables).
 	maxCycles   int64
 	stallWindow int64
+
+	// Cancellation: ctx is polled every ctxCheckInterval cycles (nil = never);
+	// a canceled run aborts with a WatchdogError whose Cause is the context
+	// error, so parallel sweeps can stop in-flight simulations early.
+	ctx          context.Context
+	nextCtxCheck int64
 
 	ready   []*activity // deps satisfied, not yet resolved
 	waiting startHeap   // transfers with known start, awaiting clock
@@ -216,8 +229,18 @@ func (e *engine) checkWatchdog() error {
 		e.lastResolved, e.lastBursts = e.resolvedCount, e.bursts
 		e.lastProgressAt = e.clock
 	}
+	if e.ctx != nil && e.clock >= e.nextCtxCheck {
+		e.nextCtxCheck = e.clock + ctxCheckInterval
+		if err := e.ctx.Err(); err != nil {
+			w := e.diagnostic("run canceled")
+			w.Cause = err
+			return w
+		}
+	}
 	if e.maxCycles > 0 && e.clock >= e.maxCycles {
-		return e.diagnostic(fmt.Sprintf("cycle budget %d exhausted", e.maxCycles))
+		w := e.diagnostic(fmt.Sprintf("cycle budget %d exhausted", e.maxCycles))
+		w.Cause = ErrBudget
+		return w
 	}
 	if stallWindow > 0 && e.clock-e.lastProgressAt >= stallWindow {
 		return e.diagnostic(fmt.Sprintf("no forward progress for %d cycles (livelock)", stallWindow))

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -67,15 +68,23 @@ func (s *RecoveryStats) Overhead() int64 { return s.DrainCycles + s.ReconfigCycl
 // bit-identical to it. A fault the mapping cannot be repaired around
 // (wrapping compiler.ErrInsufficient or compiler.ErrNoRoute) fails the run.
 func RunWithRecovery(m *compiler.Mapping, opts Options) (*Result, *dhdl.State, error) {
+	return RunWithRecoveryCtx(context.Background(), m, opts)
+}
+
+// RunWithRecoveryCtx is RunWithRecovery under a context, with the same
+// cancellation semantics as RunCtx: the engine polls ctx periodically and a
+// canceled run aborts with a *WatchdogError carrying the context error.
+func RunWithRecoveryCtx(ctx context.Context, m *compiler.Mapping, opts Options) (*Result, *dhdl.State, error) {
 	events := m.Faults.Events()
 	if len(events) == 0 {
-		return RunOpts(m, opts)
+		return RunCtx(ctx, m, opts)
 	}
 	t0 := time.Now()
 	eng, st, err := prepare(m, opts)
 	if err != nil {
 		return nil, nil, err
 	}
+	eng.ctx = ctx
 	plan := m.Faults
 	rec := &RecoveryStats{}
 	for _, ev := range events {
@@ -122,10 +131,10 @@ func RunWithRecovery(m *compiler.Mapping, opts Options) (*Result, *dhdl.State, e
 		}
 
 		if ev.Kind != fault.KillChan {
-			rep, err := compiler.Repair(m, plan)
-			if err != nil {
+			if _, err := compiler.CompileOpts(ctx, m.Prog, compiler.Options{Faults: plan, Reuse: m}); err != nil {
 				return nil, nil, fmt.Errorf("sim: recovery at cycle %d: %s: %w", eng.clock, ev, err)
 			}
+			rep := m.LastRepair
 			re.MovedPCUs, re.MovedPMUs = rep.MovedPCUs, rep.MovedPMUs
 			re.ReroutedEdges, re.FullRecompile = rep.ReroutedEdges, rep.FullRecompile
 			re.ReconfigCycles = m.Params.ReconfigCycles(rep.MovedPCUs, rep.MovedPMUs, rep.ReroutedEdges)
@@ -142,7 +151,8 @@ func RunWithRecovery(m *compiler.Mapping, opts Options) (*Result, *dhdl.State, e
 		}
 		fresh := &engine{acts: eng.acts, dram: eng.dram,
 			units: eng.units, rec: eng.rec,
-			maxCycles: eng.maxCycles, stallWindow: eng.stallWindow}
+			maxCycles: eng.maxCycles, stallWindow: eng.stallWindow,
+			ctx: eng.ctx, nextCtxCheck: eng.nextCtxCheck}
 		if err := fresh.restore(cp); err != nil {
 			return nil, nil, fmt.Errorf("sim: recovery at cycle %d: %s: %w", eng.clock, ev, err)
 		}

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -151,11 +152,19 @@ func buildResult(m *compiler.Mapping, e *engine, cycles int64, t0 time.Time) *Re
 
 // RunOpts is Run with ablation options.
 func RunOpts(m *compiler.Mapping, opts Options) (*Result, *dhdl.State, error) {
+	return RunCtx(context.Background(), m, opts)
+}
+
+// RunCtx is RunOpts under a context: the engine polls ctx periodically (see
+// ctxCheckInterval) and a canceled run aborts with a *WatchdogError whose
+// Cause is the context error, so errors.Is(err, context.Canceled) holds.
+func RunCtx(ctx context.Context, m *compiler.Mapping, opts Options) (*Result, *dhdl.State, error) {
 	t0 := time.Now()
 	eng, st, err := prepare(m, opts)
 	if err != nil {
 		return nil, nil, err
 	}
+	eng.ctx = ctx
 	cycles, err := eng.run()
 	if err != nil {
 		return nil, nil, err

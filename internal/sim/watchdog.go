@@ -15,6 +15,13 @@ import (
 // functional failure with errors.Is(err, ErrWatchdog).
 var ErrWatchdog = errors.New("sim: watchdog abort")
 
+// ErrBudget marks the specific watchdog abort caused by exhausting
+// Options.MaxCycles. It is carried as the WatchdogError's Cause, so both
+// errors.Is(err, ErrWatchdog) and errors.Is(err, ErrBudget) hold — callers
+// that set an exploratory budget can tell "ran out of budget" apart from
+// "livelocked" without string matching.
+var ErrBudget = errors.New("sim: cycle budget exhausted")
+
 // defaultStallWindow is the progress watchdog armed on every run: if no
 // activity resolves, no burst completes, and no transfer is admitted for
 // this many cycles, the schedule is livelocked (e.g. every DRAM channel
@@ -61,9 +68,21 @@ type WatchdogError struct {
 	InFlight   []StuckTransfer
 	DRAMQueues []int // per-channel request-queue occupancy
 	TopStalled []StalledUnit
+
+	// Cause classifies the abort beyond the human-readable Reason: ErrBudget
+	// for a MaxCycles overrun, the context error (context.Canceled /
+	// DeadlineExceeded) for a canceled run, nil for stalls and deadlocks.
+	Cause error
 }
 
-func (e *WatchdogError) Unwrap() error { return ErrWatchdog }
+// Unwrap exposes both the ErrWatchdog sentinel and the specific Cause, so
+// errors.Is works against either.
+func (e *WatchdogError) Unwrap() []error {
+	if e.Cause != nil {
+		return []error{ErrWatchdog, e.Cause}
+	}
+	return []error{ErrWatchdog}
+}
 
 func (e *WatchdogError) Error() string {
 	var b strings.Builder
