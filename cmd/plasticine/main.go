@@ -23,6 +23,7 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -34,6 +35,7 @@ import (
 	"plasticine/internal/compiler"
 	"plasticine/internal/core"
 	"plasticine/internal/dse"
+	"plasticine/internal/exec"
 	"plasticine/internal/fault"
 	"plasticine/internal/sim"
 	"plasticine/internal/stats"
@@ -91,6 +93,13 @@ func main() {
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "plasticine:", err)
+		// SIGINT/SIGTERM cancel ctx; the deferred summaries above have
+		// already flushed the persistent cache tier and printed partial
+		// stats, so completed design points survive for a resumed run.
+		if ctx.Err() != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
+			fmt.Fprintln(os.Stderr, "plasticine: interrupted; completed design points were flushed to the cache tier")
+			os.Exit(130)
+		}
 		os.Exit(1)
 	}
 }
@@ -121,45 +130,104 @@ commands:
                     fabric, and if not, which pattern nodes demand the
                     resource that ran out (never panics; exits 0 with a
                     structured report either way)
-  bench [-json] [-out path] [-workers N] [benchmark ...]
+  bench [-json] [-out path] [suite flags] [benchmark ...]
                     simulator throughput (simulated cycles vs host wall
                     time); -json writes BENCH_sim.json (schema in
                     EXPERIMENTS.md), -out overrides the output path
-  resilience <benchmark> [-seed N] [-spike P] [-retry P] [-workers N]
+  resilience <benchmark> [-seed N] [-spike P] [-retry P] [suite flags]
                     makespan degradation vs fraction of disabled tiles,
                     optionally on a memory system with latency spikes
                     and transient burst failures
   recovery <benchmark> [-events list] [-seed N]
                     mid-run fault recovery overhead: drain, checkpoint,
                     repair/reconfigure, resume — vs the event-free run
-  table3 [-workers N]
+  table3 [suite flags]
                     parameter selection sweep (Section 3.7)
   table5            area breakdown (Table 5)
-  table6 [-workers N]
+  table6 [suite flags]
                     generalization overhead ladder (Table 6)
-  table7 [-format table|csv|json] [-workers N]
+  table7 [-format table|csv|json] [suite flags]
                     full evaluation (Table 7)
-  fig7 [-panel a] [-workers N]
+  fig7 [-panel a] [suite flags]
                     design-space sweep panel a-f, or "all"
   bitstream <benchmark> [-json]
                     emit the compiled configuration (assembly or JSON)
-  ratios [-workers N]
+  ratios [suite flags]
                     PMU:PCU provisioning study (Section 3.7)
 
--workers N fans evaluation across N goroutines (0 = all CPU cores) backed by
-a shared design-point cache; stdout is byte-identical at any worker count.`)
+suite flags (shared by bench, resilience, recovery and the sweeps):
+  -workers N        fan evaluation across N goroutines (0 = all CPU cores)
+                    backed by a shared design-point cache; stdout is
+                    byte-identical at any worker count
+  -cache-dir path   persist design-point results on disk: a killed or
+                    interrupted sweep rerun with the same directory resumes
+                    from its completed points (corrupt entries are
+                    quarantined and recomputed, never fatal)
+  -cache-mb N       size cap for -cache-dir, LRU-evicted (0 = 256)
+  -job-timeout d    per-job deadline, e.g. 30s (0 = none)
+  -job-retries N    extra attempts for transiently-failing jobs; retries
+                    are accounted on stderr`)
 }
 
-// workersFlag registers the shared -workers flag on a suite subcommand.
-func workersFlag(fs *flag.FlagSet) *int {
-	return fs.Int("workers", 1, "parallel evaluation workers (0 = all CPU cores)")
+// suiteFlags are the flags every suite subcommand shares: worker count,
+// the disk-backed cache tier, and the per-job deadline/retry policy.
+type suiteFlags struct {
+	workers    *int
+	cacheDir   *string
+	cacheMB    *int
+	jobTimeout *time.Duration
+	jobRetries *int
+}
+
+// addSuiteFlags registers the shared suite flags on a subcommand.
+func addSuiteFlags(fs *flag.FlagSet) *suiteFlags {
+	return &suiteFlags{
+		workers:    fs.Int("workers", 1, "parallel evaluation workers (0 = all CPU cores)"),
+		cacheDir:   fs.String("cache-dir", "", "disk-backed design-point cache directory; persists across runs, so an interrupted sweep resumes (empty = memory only)"),
+		cacheMB:    fs.Int("cache-mb", 0, "persistent cache size cap in MB (0 = 256)"),
+		jobTimeout: fs.Duration("job-timeout", 0, "per-job deadline; timed-out jobs are retried under -job-retries (0 = none)"),
+		jobRetries: fs.Int("job-retries", 0, "extra attempts for transiently-failing jobs (retries are reported on stderr)"),
+	}
+}
+
+// session builds the core.Session the flags describe. Retry accounting goes
+// to stderr, keeping stdout byte-identical across runs and worker counts.
+func (f *suiteFlags) session(extra ...core.SessionOption) (*core.Session, error) {
+	opts := []core.SessionOption{core.WithWorkers(*f.workers)}
+	if *f.cacheDir != "" {
+		d, err := exec.OpenDiskCache(*f.cacheDir, int64(*f.cacheMB)<<20)
+		if err != nil {
+			return nil, err
+		}
+		opts = append(opts, core.WithDiskCache(d))
+	}
+	if *f.jobTimeout > 0 || *f.jobRetries > 0 {
+		opts = append(opts, core.WithJobPolicy(exec.JobPolicy{
+			Timeout: *f.jobTimeout,
+			Retries: *f.jobRetries,
+			Backoff: 100 * time.Millisecond,
+			OnRetry: func(attempt int, err error) {
+				fmt.Fprintf(os.Stderr, "plasticine: retry %d after transient error: %v\n", attempt, err)
+			},
+		}))
+	}
+	return core.NewSession(append(opts, extra...)...), nil
 }
 
 // summarize reports wall time, worker count and cache behaviour on stderr,
-// keeping stdout byte-identical across worker counts.
+// keeping stdout byte-identical across worker counts, and flushes the
+// persistent cache tier. Suite commands defer it, so an interrupted run
+// still flushes completed work and reports partial stats before exiting.
 func summarize(cmd string, sess *core.Session, t0 time.Time) {
-	fmt.Fprintf(os.Stderr, "%s: %.2fs with %d worker(s); %s\n",
+	if err := sess.FlushCache(); err != nil {
+		fmt.Fprintf(os.Stderr, "%s: cache flush: %v\n", cmd, err)
+	}
+	line := fmt.Sprintf("%s: %.2fs with %d worker(s); %s",
 		cmd, time.Since(t0).Seconds(), sess.Workers(), sess.CacheStats())
+	if r := sess.Retries(); r > 0 {
+		line += fmt.Sprintf("; %d job retries", r)
+	}
+	fmt.Fprintln(os.Stderr, line)
 }
 
 func cmdInfo() error {
@@ -376,18 +444,21 @@ func cmdBench(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("bench", flag.ContinueOnError)
 	asJSON := fs.Bool("json", false, "also write BENCH_sim.json (schema in EXPERIMENTS.md)")
 	outPath := fs.String("out", "", "output path for the JSON document (default BENCH_sim.json; implies -json)")
-	workers := workersFlag(fs)
+	suite := addSuiteFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	t0 := time.Now()
-	sess := core.NewSession(core.WithWorkers(*workers))
+	sess, err := suite.session()
+	if err != nil {
+		return err
+	}
+	defer summarize("bench", sess, t0)
 	results, err := sess.Bench(ctx, fs.Args())
 	if err != nil {
 		return err
 	}
 	fmt.Print(core.FormatBench(results))
-	summarize("bench", sess, t0)
 	if *asJSON || *outPath != "" {
 		path := *outPath
 		if path == "" {
@@ -410,7 +481,7 @@ func cmdResilience(ctx context.Context, args []string) error {
 	seed := fs.Int64("seed", 1, "fault-plan seed (same seed, same disabled tiles)")
 	spike := fs.Float64("spike", 0, "per-burst DRAM latency-spike probability in [0,1]")
 	retry := fs.Float64("retry", 0, "per-burst transient-failure probability in [0,1]")
-	workers := workersFlag(fs)
+	suite := addSuiteFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -428,14 +499,17 @@ func cmdResilience(ctx context.Context, args []string) error {
 		return err
 	}
 	t0 := time.Now()
-	sess := core.NewSession(core.WithWorkers(*workers))
+	sess, err := suite.session()
+	if err != nil {
+		return err
+	}
+	defer summarize("resilience", sess, t0)
 	base := fault.Spec{Seed: *seed, SpikeProb: *spike, TransientProb: *retry}
 	rows, err := sess.Resilience(ctx, b, base, core.DefaultResilienceFractions())
 	if err != nil {
 		return err
 	}
 	fmt.Print(core.FormatResilience(b.Name(), *seed, rows))
-	summarize("resilience", sess, t0)
 	return nil
 }
 
@@ -443,7 +517,7 @@ func cmdRecovery(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("recovery", flag.ContinueOnError)
 	events := fs.String("events", "", "timed faults to survive (default kill-pcu@1000,kill-pmu@2500,kill-chan@4000)")
 	seed := fs.Int64("seed", 1, "victim-draw seed (same seed, same victims)")
-	workers := workersFlag(fs)
+	suite := addSuiteFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -465,13 +539,16 @@ func cmdRecovery(ctx context.Context, args []string) error {
 		}
 		spec.Events = parsed.Events
 	}
-	sess := core.NewSession(core.WithWorkers(*workers))
+	sess, err := suite.session()
+	if err != nil {
+		return err
+	}
 	rep, err := sess.Recovery(ctx, b, spec)
 	if err != nil {
 		return err
 	}
 	fmt.Print(core.FormatRecovery(rep))
-	return nil
+	return sess.FlushCache()
 }
 
 func cmdBitstream(args []string) error {
@@ -505,64 +582,77 @@ func cmdBitstream(args []string) error {
 
 func cmdRatios(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("ratios", flag.ContinueOnError)
-	workers := workersFlag(fs)
+	suite := addSuiteFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	t0 := time.Now()
-	sess := core.NewSession(core.WithWorkers(*workers))
+	sess, err := suite.session()
+	if err != nil {
+		return err
+	}
+	defer summarize("ratios", sess, t0)
 	rows, err := sess.RatioStudy(ctx)
 	if err != nil {
 		return err
 	}
 	fmt.Print(dse.FormatRatios(rows))
-	summarize("ratios", sess, t0)
 	return nil
 }
 
 func cmdTable3(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("table3", flag.ContinueOnError)
-	workers := workersFlag(fs)
+	suite := addSuiteFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	t0 := time.Now()
-	sess := core.NewSession(core.WithWorkers(*workers))
+	sess, err := suite.session()
+	if err != nil {
+		return err
+	}
+	defer summarize("table3", sess, t0)
 	rows, err := sess.Table3(ctx)
 	if err != nil {
 		return err
 	}
 	fmt.Print(dse.FormatTable3(rows))
-	summarize("table3", sess, t0)
 	return nil
 }
 
 func cmdTable6(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("table6", flag.ContinueOnError)
-	workers := workersFlag(fs)
+	suite := addSuiteFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	t0 := time.Now()
-	sess := core.NewSession(core.WithWorkers(*workers))
+	sess, err := suite.session()
+	if err != nil {
+		return err
+	}
+	defer summarize("table6", sess, t0)
 	rows, err := sess.Table6(ctx)
 	if err != nil {
 		return err
 	}
 	fmt.Print(dse.FormatTable6(rows))
-	summarize("table6", sess, t0)
 	return nil
 }
 
 func cmdTable7(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("table7", flag.ContinueOnError)
 	format := fs.String("format", "table", "output format: table, csv, json")
-	workers := workersFlag(fs)
+	suite := addSuiteFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	t0 := time.Now()
-	sess := core.NewSession(core.WithWorkers(*workers))
+	sess, err := suite.session()
+	if err != nil {
+		return err
+	}
+	defer summarize("table7", sess, t0)
 	rows, err := sess.Table7(ctx)
 	if err != nil {
 		return err
@@ -581,19 +671,22 @@ func cmdTable7(ctx context.Context, args []string) error {
 	default:
 		return fmt.Errorf("unknown format %q", *format)
 	}
-	summarize("table7", sess, t0)
 	return nil
 }
 
 func cmdFig7(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("fig7", flag.ContinueOnError)
 	panel := fs.String("panel", "a", "panel to compute: a-f or all")
-	workers := workersFlag(fs)
+	suite := addSuiteFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	t0 := time.Now()
-	sess := core.NewSession(core.WithWorkers(*workers))
+	sess, err := suite.session()
+	if err != nil {
+		return err
+	}
+	defer summarize("fig7", sess, t0)
 	panels := []string{*panel}
 	if *panel == "all" {
 		panels = []string{"a", "b", "c", "d", "e", "f"}
@@ -605,6 +698,5 @@ func cmdFig7(ctx context.Context, args []string) error {
 		}
 		fmt.Printf("panel %s:\n%s\n", id, p.Format())
 	}
-	summarize("fig7", sess, t0)
 	return nil
 }

@@ -35,6 +35,8 @@ type Session struct {
 	engine  *exec.Engine
 	plan    *fault.Plan
 	simOpts sim.Options
+	policy  exec.JobPolicy
+	disk    *exec.DiskCache
 
 	// dseOnce lazily allocates benchmark virtual units exactly once per
 	// session; every DSE entry point shares the result, so a Table 3 run
@@ -74,13 +76,34 @@ func WithWorkers(n int) SessionOption {
 	return func(s *Session) { s.engine = exec.NewEngine(n) }
 }
 
+// WithJobPolicy sets the per-job deadline/retry policy every cached
+// evaluation runs under (default: zero policy — no deadline, no retries).
+// Transient failures (per-job deadline expiry, watchdog aborts caused by a
+// dying context) are retried with exponential backoff; permanent ones
+// (compile errors, infeasible mappings, cycle-budget exhaustion, functional
+// mismatches, panics) fail immediately.
+func WithJobPolicy(p exec.JobPolicy) SessionOption {
+	return func(s *Session) { s.policy = p }
+}
+
+// WithDiskCache puts a disk-backed persistent tier under the design-point
+// cache: results survive the process, so a killed sweep rerun against the
+// same tier resumes from its completed points (default: memory only).
+func WithDiskCache(d *exec.DiskCache) SessionOption {
+	return func(s *Session) { s.disk = d }
+}
+
 // NewSession builds a session. Defaults: paper architecture, no faults, one
-// worker, fresh cache.
+// worker, fresh cache, no persistence, no job policy.
 func NewSession(opts ...SessionOption) *Session {
 	s := &Session{sys: New(), engine: exec.NewEngine(1)}
 	for _, o := range opts {
 		o(s)
 	}
+	// Applied after the options so ordering relative to WithWorkers (which
+	// replaces the engine) does not matter.
+	s.engine.AttachDisk(s.disk)
+	s.engine.SetPolicy(s.policy)
 	return s
 }
 
@@ -98,6 +121,15 @@ func (s *Session) Workers() int { return s.engine.Workers() }
 // number of distinct points evaluated, so it is identical at any worker
 // count; surface it in sweep summaries.
 func (s *Session) CacheStats() exec.CacheStats { return s.engine.CacheStats() }
+
+// Retries reports how many transient job failures the session's policy has
+// retried so far.
+func (s *Session) Retries() int64 { return s.engine.Retries() }
+
+// FlushCache makes the persistent tier durable (a no-op without one). Call
+// it on shutdown — including interrupted shutdown — so completed design
+// points survive for the next run to resume from.
+func (s *Session) FlushCache() error { return s.engine.Cache().Disk().Flush() }
 
 // Run compiles and simulates one program under the session's plan and
 // options (uncached: arbitrary programs have no stable identity).
@@ -150,7 +182,10 @@ func freshInstance(b workloads.Benchmark) workloads.Benchmark {
 // through: one compile+simulate per distinct (benchmark, params, plan, opts)
 // point per session. The plan is cloned and the benchmark re-instantiated
 // inside the compute so parallel jobs share no mutable state; profiled runs
-// (non-nil Recorder) bypass the cache entirely.
+// (non-nil Recorder) bypass the cache entirely. The compute runs under the
+// session's job policy (deadline + transient retries), and its result
+// persists to the disk tier when one is attached — note the persisted form
+// drops PassTrace (json:"-"), which only the uncached Profile path consumes.
 func (s *Session) evaluate(ctx context.Context, b workloads.Benchmark, plan *fault.Plan, opts sim.Options) (*BenchResult, error) {
 	b = freshInstance(b)
 	if opts.Recorder != nil {
@@ -158,8 +193,14 @@ func (s *Session) evaluate(ctx context.Context, b workloads.Benchmark, plan *fau
 	}
 	k := exec.NewKey("core/bench", b.Name(),
 		fmt.Sprintf("%+v", s.sys.Params), planKey(plan), optsKey(opts))
-	return exec.Cached(s.engine.Cache(), k, func() (*BenchResult, error) {
-		return s.sys.RunBenchmarkCtx(ctx, b, plan.Clone(), opts)
+	return exec.CachedJSON(s.engine.Cache(), k, func() (*BenchResult, error) {
+		var r *BenchResult
+		err := s.engine.RunJob(ctx, b.Name(), func(ctx context.Context) error {
+			var rerr error
+			r, rerr = s.sys.RunBenchmarkCtx(ctx, b, plan.Clone(), opts)
+			return rerr
+		})
+		return r, err
 	})
 }
 

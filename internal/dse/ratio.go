@@ -26,25 +26,32 @@ type RatioRow struct {
 	EnergyProxy float64
 }
 
+// unitDemand is a benchmark's physical unit requirement — the only part of
+// a compiler.Partitioned the ratio study consumes, reduced to a flat struct
+// so it can persist in the disk cache tier.
+type unitDemand struct {
+	PCUs, PMUs int
+}
+
 // RatioStudy evaluates PMU:PCU provisioning choices at a fixed total unit
 // count (the 16x8 array of 128 units), sequentially and uncached.
 //
 // Deprecated: kept for existing callers and tests; use Sweep.RatioStudy.
 func RatioStudy(benches []*Bench, params arch.Params) ([]RatioRow, error) {
-	demands := make([]*compiler.Partitioned, len(benches))
+	demands := make([]unitDemand, len(benches))
 	for i, b := range benches {
 		part, err := demand(b, params)
 		if err != nil {
 			return nil, err
 		}
-		demands[i] = part
+		demands[i] = unitDemand{PCUs: part.TotalPCUs, PMUs: part.TotalPMUs}
 	}
 	return ratioRows(demands, params), nil
 }
 
 // ratioRows folds per-benchmark unit demands into the provisioning table.
 // Pure function of its inputs, shared by the sequential and parallel paths.
-func ratioRows(demands []*compiler.Partitioned, params arch.Params) []RatioRow {
+func ratioRows(demands []unitDemand, params arch.Params) []RatioRow {
 	total := params.Chip.Rows * params.Chip.Cols
 	ratios := []struct{ pmu, pcu int }{
 		{1, 3}, // PCU-heavy
@@ -58,10 +65,10 @@ func ratioRows(demands []*compiler.Partitioned, params arch.Params) []RatioRow {
 		nPCU := total - nPMU
 		row := RatioRow{PMUs: r.pmu, PCUs: r.pcu}
 		var utilSum float64
-		for _, part := range demands {
-			if part.TotalPCUs <= nPCU && part.TotalPMUs <= nPMU {
+		for _, d := range demands {
+			if d.PCUs <= nPCU && d.PMUs <= nPMU {
 				row.Fit++
-				utilSum += (float64(part.TotalPCUs) + float64(part.TotalPMUs)) / float64(total)
+				utilSum += (float64(d.PCUs) + float64(d.PMUs)) / float64(total)
 			}
 		}
 		if row.Fit > 0 {

@@ -1,0 +1,95 @@
+package dse
+
+import (
+	"context"
+	"testing"
+
+	"plasticine/internal/arch"
+	"plasticine/internal/exec"
+)
+
+// newDiskEngine builds a fresh engine (fresh in-memory cache, as after a
+// process restart) over the persistent tier rooted at dir.
+func newDiskEngine(t *testing.T, dir string, workers int) *exec.Engine {
+	t.Helper()
+	d, err := exec.OpenDiskCache(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := exec.NewEngine(workers)
+	eng.AttachDisk(d)
+	return eng
+}
+
+func TestFigure7ResumesFromDiskTier(t *testing.T) {
+	benches, err := LoadBenches()
+	if err != nil {
+		t.Fatal(err)
+	}
+	benches = benches[:3] // keep the sweep small
+	chip := arch.Default().Chip
+	dir := t.TempDir()
+
+	s1 := NewSweep(benches, chip, newDiskEngine(t, dir, 2))
+	p1, err := s1.Figure7(context.Background(), "f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := s1.Engine.CacheStats()
+	if first.DiskWrites == 0 {
+		t.Fatal("first run persisted nothing")
+	}
+
+	// A fresh engine over the same tier — the killed-and-rerun scenario.
+	s2 := NewSweep(benches, chip, newDiskEngine(t, dir, 2))
+	p2, err := s2.Figure7(context.Background(), "f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := p2.Format(), p1.Format(); got != want {
+		t.Fatalf("resumed panel differs from the original:\n%s\nvs\n%s", got, want)
+	}
+	second := s2.Engine.CacheStats()
+	if second.DiskHits == 0 {
+		t.Fatal("resumed run never hit the persistent tier")
+	}
+	// Every memory miss in the resumed run is served from disk (the
+	// whole-descent entries hit, so the inner grid points are never even
+	// requested) and nothing is recomputed or rewritten.
+	if second.DiskHits != second.Misses {
+		t.Fatalf("resumed run: %d misses but only %d disk hits — something recomputed",
+			second.Misses, second.DiskHits)
+	}
+	if second.DiskWrites != 0 {
+		t.Fatalf("resumed run rewrote %d entries, want 0", second.DiskWrites)
+	}
+}
+
+func TestTable6ResumesFromDiskTier(t *testing.T) {
+	benches, err := LoadBenches()
+	if err != nil {
+		t.Fatal(err)
+	}
+	benches = benches[:2]
+	params := arch.Default()
+	dir := t.TempDir()
+
+	s1 := NewSweep(benches, params.Chip, newDiskEngine(t, dir, 2))
+	r1, err := s1.Table6(context.Background(), params)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := NewSweep(benches, params.Chip, newDiskEngine(t, dir, 2))
+	r2, err := s2.Table6(context.Background(), params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := FormatTable6(r2), FormatTable6(r1); got != want {
+		t.Fatalf("resumed Table 6 differs:\n%s\nvs\n%s", got, want)
+	}
+	if s2.Engine.CacheStats().DiskHits < int64(len(benches)) {
+		t.Fatalf("resumed run hit disk %d times, want at least one per bench row",
+			s2.Engine.CacheStats().DiskHits)
+	}
+}

@@ -4,9 +4,10 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"sort"
+	"strings"
 
 	"plasticine/internal/arch"
-	"plasticine/internal/compiler"
 	"plasticine/internal/exec"
 )
 
@@ -33,24 +34,86 @@ func NewSweep(benches []*Bench, chip arch.ChipParams, eng *exec.Engine) *Sweep {
 	return &Sweep{Benches: benches, Chip: chip, Engine: eng}
 }
 
-// benchArea is benchPCUArea through the design-point cache, keyed by the
-// bench's name plus every PCU and chip parameter. Infeasible points are
-// cached like any other value, so a point that cannot map fails exactly once.
-func (s *Sweep) benchArea(b *Bench, p arch.PCUParams) float64 {
-	k := exec.NewKey("dse/pcu-area", b.Name, fmt.Sprintf("%+v", p), fmt.Sprintf("%+v", s.Chip))
-	v, _ := exec.Cached(s.Engine.Cache(), k, func() (float64, error) {
-		return benchPCUArea(b, p, s.Chip), nil
-	})
-	return v
+// areaPoint and minPoint are the persisted forms of design-point results.
+// Infeasibility is an explicit flag rather than +Inf because the persistent
+// tier stores JSON, which cannot represent infinities.
+type areaPoint struct {
+	Area       float64 `json:",omitempty"`
+	Infeasible bool    `json:",omitempty"`
 }
 
-// minimizeArea performs coordinate descent over the free PCU parameters
-// (those not in fixed) to find the minimum total PCU area for a benchmark —
-// the paper's "sweep the remaining space to find the minimum possible PCU
-// area" (Section 3.7). The descent is sequential (each step depends on the
-// last) but every point it probes goes through the shared cache, and
-// neighbouring grid points probe heavily overlapping sets.
+type minPoint struct {
+	Params     arch.PCUParams
+	Area       float64 `json:",omitempty"`
+	Infeasible bool    `json:",omitempty"`
+}
+
+// benchArea is benchPCUArea through the design-point cache (and, when
+// attached, the persistent tier), keyed by the bench's name plus every PCU
+// and chip parameter. Infeasible points are cached like any other value, so
+// a point that cannot map fails exactly once.
+func (s *Sweep) benchArea(b *Bench, p arch.PCUParams) float64 {
+	k := exec.NewKey("dse/pcu-area", b.Name, fmt.Sprintf("%+v", p), fmt.Sprintf("%+v", s.Chip))
+	v, _ := exec.CachedJSON(s.Engine.Cache(), k, func() (areaPoint, error) {
+		a := benchPCUArea(b, p, s.Chip)
+		if math.IsInf(a, 1) {
+			return areaPoint{Infeasible: true}, nil
+		}
+		return areaPoint{Area: a}, nil
+	})
+	if v.Infeasible {
+		return Infeasible
+	}
+	return v.Area
+}
+
+// canonFixed renders a fixed-parameter map in sorted order, so maps with
+// identical contents produce identical cache keys regardless of iteration
+// order.
+func canonFixed(fixed map[string]int) string {
+	names := make([]string, 0, len(fixed))
+	for n := range fixed {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for _, n := range names {
+		fmt.Fprintf(&b, "%s=%d;", n, fixed[n])
+	}
+	return b.String()
+}
+
+// minimizeArea is minimizeAreaUncached through the cache: a whole descent
+// result persists as one entry, so a resumed sweep skips not just the grid
+// points but the descents themselves.
 func (s *Sweep) minimizeArea(b *Bench, fixed map[string]int) (arch.PCUParams, float64, error) {
+	k := exec.NewKey("dse/minimize", b.Name, canonFixed(fixed), fmt.Sprintf("%+v", s.Chip))
+	v, err := exec.CachedJSON(s.Engine.Cache(), k, func() (minPoint, error) {
+		p, area, err := s.minimizeAreaUncached(b, fixed)
+		if err != nil {
+			return minPoint{}, err
+		}
+		if math.IsInf(area, 1) {
+			return minPoint{Params: p, Infeasible: true}, nil
+		}
+		return minPoint{Params: p, Area: area}, nil
+	})
+	if err != nil {
+		return maxParams(), Infeasible, err
+	}
+	if v.Infeasible {
+		return v.Params, Infeasible, nil
+	}
+	return v.Params, v.Area, nil
+}
+
+// minimizeAreaUncached performs coordinate descent over the free PCU
+// parameters (those not in fixed) to find the minimum total PCU area for a
+// benchmark — the paper's "sweep the remaining space to find the minimum
+// possible PCU area" (Section 3.7). The descent is sequential (each step
+// depends on the last) but every point it probes goes through the shared
+// cache, and neighbouring grid points probe heavily overlapping sets.
+func (s *Sweep) minimizeAreaUncached(b *Bench, fixed map[string]int) (arch.PCUParams, float64, error) {
 	p := maxParams()
 	for name, v := range fixed {
 		f, err := getParam(&p, name)
@@ -227,17 +290,21 @@ func (s *Sweep) Table6(ctx context.Context, params arch.Params) ([]Ladder, error
 // so it is computed once per benchmark — in parallel, through the cache —
 // and every ratio row reads the same demand table.
 func (s *Sweep) RatioStudy(ctx context.Context, params arch.Params) ([]RatioRow, error) {
-	demands := make([]*compiler.Partitioned, len(s.Benches))
+	demands := make([]unitDemand, len(s.Benches))
 	err := s.Engine.Pool().Map(ctx, len(s.Benches), func(_ context.Context, i int) error {
 		b := s.Benches[i]
 		k := exec.NewKey("dse/demand", b.Name, fmt.Sprintf("%+v", params))
-		part, err := exec.Cached(s.Engine.Cache(), k, func() (*compiler.Partitioned, error) {
-			return demand(b, params)
+		d, err := exec.CachedJSON(s.Engine.Cache(), k, func() (unitDemand, error) {
+			part, err := demand(b, params)
+			if err != nil {
+				return unitDemand{}, err
+			}
+			return unitDemand{PCUs: part.TotalPCUs, PMUs: part.TotalPMUs}, nil
 		})
 		if err != nil {
 			return err
 		}
-		demands[i] = part
+		demands[i] = d
 		return nil
 	})
 	if err != nil {

@@ -7,6 +7,7 @@ import (
 
 	"plasticine/internal/arch"
 	"plasticine/internal/compiler"
+	"plasticine/internal/exec"
 	"plasticine/internal/stats"
 )
 
@@ -87,9 +88,17 @@ func hetPMUArea(m *compiler.VirtualPMU) float64 {
 	return float64(m.Unroll) * (sram + addr + arch.ControlArea())
 }
 
-// table6Row computes one benchmark's ladder row; every PCU sizing goes
-// through the sweep's design-point cache.
+// table6Row computes one benchmark's ladder row through the cache: the
+// finished row is one persistent-tier entry, so a resumed Table 6 run skips
+// completed benchmarks outright.
 func (s *Sweep) table6Row(b *Bench, params arch.Params) (Ladder, error) {
+	k := exec.NewKey("dse/table6-row", b.Name, fmt.Sprintf("%+v", params), fmt.Sprintf("%+v", s.Chip))
+	return exec.CachedJSON(s.Engine.Cache(), k, func() (Ladder, error) {
+		return s.table6RowUncached(b, params)
+	})
+}
+
+func (s *Sweep) table6RowUncached(b *Bench, params arch.Params) (Ladder, error) {
 	chip := s.Chip
 	var asicP, hetP float64
 	for ui, u := range b.PCUs {

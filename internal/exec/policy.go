@@ -1,0 +1,110 @@
+package exec
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Transienter is implemented by errors that classify their own
+// retryability. sim.WatchdogError implements it: an abort caused by a dying
+// context is transient (the cancel may have come from a failing sibling,
+// not this design point), while budget exhaustion, stalls and deadlocks are
+// properties of the point itself and will recur on retry.
+type Transienter interface{ Transient() bool }
+
+// Transient reports whether err is worth retrying under a JobPolicy. An
+// error anywhere in the chain that implements Transienter decides for
+// itself. Otherwise a bare context cancellation or deadline expiry is
+// presumed spurious — JobPolicy.Run checks its own context before retrying,
+// so a deliberate parent cancel is never retried — and everything else
+// (compile failures, infeasible points, functional-check mismatches, panics)
+// is permanent.
+func Transient(err error) bool {
+	var t Transienter
+	if errors.As(err, &t) {
+		return t.Transient()
+	}
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// JobPolicy bounds and retries one evaluation job. The zero value imposes
+// nothing: no deadline, no retries — exactly the pre-policy behaviour.
+type JobPolicy struct {
+	// Timeout is the per-attempt deadline (0 = none). An attempt that
+	// exceeds it fails with context.DeadlineExceeded, which is transient:
+	// with Retries > 0 the job runs again on a fresh deadline.
+	Timeout time.Duration
+
+	// Retries is how many additional attempts a transiently-failing job
+	// gets after the first. Permanent errors never retry.
+	Retries int
+
+	// Backoff is the pause before retry r (1-based): Backoff << (r-1), so
+	// successive retries back off exponentially. 0 retries immediately.
+	Backoff time.Duration
+
+	// OnRetry observes every retry decision before the backoff pause:
+	// attempt is the 1-based retry number and err the transient failure
+	// being retried. The CLI wires this to stderr for deterministic retry
+	// accounting; nil means silent.
+	OnRetry func(attempt int, err error)
+}
+
+// Run executes fn under the policy: each attempt gets its own deadline
+// (when Timeout > 0), transient failures are retried up to Retries times
+// with exponential backoff, and permanent failures return immediately.
+// label names the job in retry-exhaustion errors. If the caller's ctx dies,
+// Run stops immediately — a deliberate cancellation is never retried.
+func (p JobPolicy) Run(ctx context.Context, label string, fn func(context.Context) error) error {
+	if label == "" {
+		label = "job"
+	}
+	retries := p.Retries
+	if retries < 0 {
+		retries = 0
+	}
+	var err error
+	for attempt := 0; ; attempt++ {
+		err = func() error {
+			actx := ctx
+			cancel := func() {}
+			if p.Timeout > 0 {
+				actx, cancel = context.WithTimeout(ctx, p.Timeout)
+			}
+			defer cancel()
+			return fn(actx)
+		}()
+		if err == nil {
+			return nil
+		}
+		if ctx.Err() != nil {
+			// The caller's context is gone: whatever fn returned is a
+			// consequence of that, not something a retry can fix.
+			return err
+		}
+		if !Transient(err) {
+			return err
+		}
+		if attempt == retries {
+			break
+		}
+		if p.OnRetry != nil {
+			p.OnRetry(attempt+1, err)
+		}
+		if p.Backoff > 0 {
+			t := time.NewTimer(p.Backoff << attempt)
+			select {
+			case <-ctx.Done():
+				t.Stop()
+				return ctx.Err()
+			case <-t.C:
+			}
+		}
+	}
+	if retries > 0 {
+		return fmt.Errorf("exec: %s: gave up after %d attempts: %w", label, retries+1, err)
+	}
+	return err
+}

@@ -1,24 +1,67 @@
 // Package exec is the parallel evaluation engine: a fixed worker pool that
 // fans independent compile→simulate→profile jobs across cores, plus a
-// content-addressed in-memory cache so identical design points are never
-// evaluated twice. The paper's experiments are embarrassingly parallel —
-// thirteen Table 4 benchmarks and thousands of Figure 7 / Table 3 design
-// points — and every consumer (the DSE sweeps, the bench suite, the
-// resilience sweep, core.Session) draws from the same pool and cache.
+// content-addressed cache (with an optional disk-backed persistent tier) so
+// identical design points are never evaluated twice. The paper's experiments
+// are embarrassingly parallel — thirteen Table 4 benchmarks and thousands of
+// Figure 7 / Table 3 design points — and every consumer (the DSE sweeps, the
+// bench suite, the resilience sweep, core.Session) draws from the same pool
+// and cache.
 //
 // Determinism contract: a job writes only into its own index-addressed slot,
 // reads only immutable shared inputs, and seeds any randomness from its own
 // key. Under that contract the merged output is byte-identical for any
 // worker count, which the determinism tests in core and dse enforce.
+//
+// Robustness contract: a job that panics never crashes the process — the
+// panic is recovered into a typed PanicError, siblings are canceled, and the
+// cache never memoizes the panicked computation. See JobPolicy for per-job
+// deadlines and transient-error retries.
 package exec
 
 import (
 	"context"
 	"errors"
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 )
+
+// PanicError is a panic recovered from one job: which job index blew up,
+// the recovered value, and the goroutine stack at the point of the panic.
+// Pool.Map surfaces it like any other job failure (lowest index wins), so a
+// panicking design point is reported deterministically while the process
+// keeps running.
+type PanicError struct {
+	Index int    // index of the job that panicked
+	Value any    // the value passed to panic()
+	Stack []byte // stack trace captured at recovery
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("exec: job %d panicked: %v\n%s", e.Index, e.Value, e.Stack)
+}
+
+// isCancellation reports whether err is purely a reaction to a dying
+// context. Both sentinels count: a parent deadline propagates
+// context.DeadlineExceeded into sibling jobs exactly the way a cancel
+// propagates context.Canceled, and surfacing either as a job failure would
+// make Map's error depend on which sibling observed the dying context first.
+func isCancellation(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// call runs one job with panic isolation: a panic inside fn becomes a typed
+// *PanicError naming the job index instead of unwinding the process.
+func call(ctx context.Context, i int, fn func(context.Context, int) error) (err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			err = &PanicError{Index: i, Value: v, Stack: debug.Stack()}
+		}
+	}()
+	return fn(ctx, i)
+}
 
 // Pool is a fixed-size worker pool. The zero value and a nil *Pool both run
 // jobs sequentially on the calling goroutine.
@@ -51,8 +94,12 @@ func (p *Pool) Workers() int {
 // The first real (non-cancellation) failure cancels the derived context,
 // stopping in-flight and unstarted jobs early. The returned error is the
 // failure with the lowest job index — the same error a sequential run would
-// return — so error output is deterministic too. Pure cancellation errors
-// from sibling jobs reacting to that cancel are not reported as failures.
+// return — so error output is deterministic too. Cancellation errors from
+// sibling jobs reacting to a context that was already dying (because a
+// sibling failed, or because the parent ctx was canceled or hit its
+// deadline) are never reported as failures; if the parent context died, Map
+// returns the parent's own error. A panicking job is recovered into a
+// *PanicError and treated as a real failure.
 func (p *Pool) Map(ctx context.Context, n int, fn func(ctx context.Context, i int) error) error {
 	if err := ctx.Err(); err != nil {
 		return err
@@ -69,7 +116,7 @@ func (p *Pool) Map(ctx context.Context, n int, fn func(ctx context.Context, i in
 			if err := ctx.Err(); err != nil {
 				return err
 			}
-			if err := fn(ctx, i); err != nil {
+			if err := call(ctx, i, fn); err != nil {
 				return err
 			}
 		}
@@ -78,6 +125,10 @@ func (p *Pool) Map(ctx context.Context, n int, fn func(ctx context.Context, i in
 	jobCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	errs := make([]error, n)
+	// secondary marks errors that are mere reactions to a context that was
+	// already dying when the job observed it; they never mask a root cause
+	// and are never surfaced as the failure themselves.
+	secondary := make([]bool, n)
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -89,9 +140,11 @@ func (p *Pool) Map(ctx context.Context, n int, fn func(ctx context.Context, i in
 				if i >= n || jobCtx.Err() != nil {
 					return
 				}
-				if err := fn(jobCtx, i); err != nil {
+				if err := call(jobCtx, i, fn); err != nil {
 					errs[i] = err
-					if !errors.Is(err, context.Canceled) {
+					if isCancellation(err) && jobCtx.Err() != nil {
+						secondary[i] = true
+					} else {
 						cancel() // stop the fleet on the first real failure
 					}
 				}
@@ -99,8 +152,8 @@ func (p *Pool) Map(ctx context.Context, n int, fn func(ctx context.Context, i in
 		}()
 	}
 	wg.Wait()
-	for _, err := range errs {
-		if err != nil && !errors.Is(err, context.Canceled) {
+	for i, err := range errs {
+		if err != nil && !secondary[i] {
 			return err
 		}
 	}

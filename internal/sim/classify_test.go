@@ -1,0 +1,43 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+// transienter mirrors exec.Transienter without importing it (sim must not
+// depend on exec).
+type transienter interface{ Transient() bool }
+
+func TestWatchdogErrorTransientClassification(t *testing.T) {
+	cases := []struct {
+		name  string
+		cause error
+		want  bool
+	}{
+		{"budget-exhausted", ErrBudget, false},
+		{"stall-or-deadlock", nil, false},
+		{"canceled-run", context.Canceled, true},
+		{"deadline-expired-run", context.DeadlineExceeded, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := error(&WatchdogError{Reason: tc.name, Cause: tc.cause})
+			var tr transienter
+			if !errors.As(err, &tr) {
+				t.Fatal("WatchdogError does not classify itself")
+			}
+			if got := tr.Transient(); got != tc.want {
+				t.Fatalf("Transient() = %t, want %t", got, tc.want)
+			}
+			// Classification must not break the sentinel contract.
+			if !errors.Is(err, ErrWatchdog) {
+				t.Fatal("errors.Is(err, ErrWatchdog) = false")
+			}
+			if tc.cause != nil && !errors.Is(err, tc.cause) {
+				t.Fatalf("errors.Is(err, %v) = false", tc.cause)
+			}
+		})
+	}
+}

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -73,6 +74,17 @@ type WatchdogError struct {
 	// for a MaxCycles overrun, the context error (context.Canceled /
 	// DeadlineExceeded) for a canceled run, nil for stalls and deadlocks.
 	Cause error
+}
+
+// Transient classifies the abort for retry policies (exec.Transienter): an
+// abort whose Cause is a dying context is transient — the cancellation may
+// have come from a failing sibling or an expired per-job deadline, not from
+// this design point — while budget exhaustion (ErrBudget), stalls and
+// deadlocks are properties of the deterministic simulation itself and would
+// simply recur on retry.
+func (e *WatchdogError) Transient() bool {
+	return e.Cause != nil &&
+		(errors.Is(e.Cause, context.Canceled) || errors.Is(e.Cause, context.DeadlineExceeded))
 }
 
 // Unwrap exposes both the ErrWatchdog sentinel and the specific Cause, so

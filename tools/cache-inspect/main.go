@@ -1,0 +1,48 @@
+// Command cache-inspect audits a persistent design-point cache directory
+// (the -cache-dir of the plasticine suite subcommands): it decodes every
+// entry, prints a summary, and lists defective entries — the ones a sweep
+// would quarantine and recompute. Exit status 1 when any entry is
+// defective, so a CI step can assert a tier is clean.
+//
+//	go run ./tools/cache-inspect [-v] <cache-dir>
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"plasticine/internal/exec"
+)
+
+func main() {
+	verbose := flag.Bool("v", false, "list every entry, not just defective ones")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: cache-inspect [-v] <cache-dir>")
+		os.Exit(2)
+	}
+	entries, err := exec.InspectDiskCache(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cache-inspect:", err)
+		os.Exit(2)
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].File < entries[j].File })
+	var bytes, defects int
+	for _, e := range entries {
+		if e.Err != nil {
+			defects++
+			fmt.Printf("DEFECT %s: %v\n", e.File, e.Err)
+			continue
+		}
+		bytes += e.Bytes
+		if *verbose {
+			fmt.Printf("ok %s %6d B  %q\n", e.File, e.Bytes, e.Key)
+		}
+	}
+	fmt.Printf("%d entries, %d payload bytes, %d defective\n", len(entries), bytes, defects)
+	if defects > 0 {
+		os.Exit(1)
+	}
+}
