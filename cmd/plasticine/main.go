@@ -84,6 +84,8 @@ func main() {
 		err = cmdBitstream(args)
 	case "ratios":
 		err = cmdRatios(ctx, args)
+	case "serve":
+		err = cmdServe(ctx, args)
 	case "help", "-h", "--help":
 		usage()
 	default:
@@ -154,6 +156,13 @@ commands:
                     emit the compiled configuration (assembly or JSON)
   ratios [suite flags]
                     PMU:PCU provisioning study (Section 3.7)
+  serve [-addr host:port] [-queue N] [-tenant-rate R] [-drain d] [suite flags]
+                    multi-tenant evaluation service: HTTP/JSON endpoints
+                    (/v1/run, /v1/compile, /v1/profile, /v1/explain,
+                    /v1/sweep, /statsz) over one shared session, with
+                    per-tenant quotas, weighted-fair dispatch, load shedding
+                    (429 + Retry-After, never 5xx under overload) and a
+                    graceful SIGTERM drain that flushes the cache tier
 
 suite flags (shared by bench, resilience, recovery and the sweeps):
   -workers N        fan evaluation across N goroutines (0 = all CPU cores)
@@ -212,22 +221,6 @@ func (f *suiteFlags) session(extra ...core.SessionOption) (*core.Session, error)
 		}))
 	}
 	return core.NewSession(append(opts, extra...)...), nil
-}
-
-// summarize reports wall time, worker count and cache behaviour on stderr,
-// keeping stdout byte-identical across worker counts, and flushes the
-// persistent cache tier. Suite commands defer it, so an interrupted run
-// still flushes completed work and reports partial stats before exiting.
-func summarize(cmd string, sess *core.Session, t0 time.Time) {
-	if err := sess.FlushCache(); err != nil {
-		fmt.Fprintf(os.Stderr, "%s: cache flush: %v\n", cmd, err)
-	}
-	line := fmt.Sprintf("%s: %.2fs with %d worker(s); %s",
-		cmd, time.Since(t0).Seconds(), sess.Workers(), sess.CacheStats())
-	if r := sess.Retries(); r > 0 {
-		line += fmt.Sprintf("; %d job retries", r)
-	}
-	fmt.Fprintln(os.Stderr, line)
 }
 
 func cmdInfo() error {
@@ -453,7 +446,7 @@ func cmdBench(ctx context.Context, args []string) error {
 	if err != nil {
 		return err
 	}
-	defer summarize("bench", sess, t0)
+	defer shutdownSession("bench", sess, t0)
 	results, err := sess.Bench(ctx, fs.Args())
 	if err != nil {
 		return err
@@ -503,7 +496,7 @@ func cmdResilience(ctx context.Context, args []string) error {
 	if err != nil {
 		return err
 	}
-	defer summarize("resilience", sess, t0)
+	defer shutdownSession("resilience", sess, t0)
 	base := fault.Spec{Seed: *seed, SpikeProb: *spike, TransientProb: *retry}
 	rows, err := sess.Resilience(ctx, b, base, core.DefaultResilienceFractions())
 	if err != nil {
@@ -539,16 +532,18 @@ func cmdRecovery(ctx context.Context, args []string) error {
 		}
 		spec.Events = parsed.Events
 	}
+	t0 := time.Now()
 	sess, err := suite.session()
 	if err != nil {
 		return err
 	}
+	defer shutdownSession("recovery", sess, t0)
 	rep, err := sess.Recovery(ctx, b, spec)
 	if err != nil {
 		return err
 	}
 	fmt.Print(core.FormatRecovery(rep))
-	return sess.FlushCache()
+	return nil
 }
 
 func cmdBitstream(args []string) error {
@@ -591,7 +586,7 @@ func cmdRatios(ctx context.Context, args []string) error {
 	if err != nil {
 		return err
 	}
-	defer summarize("ratios", sess, t0)
+	defer shutdownSession("ratios", sess, t0)
 	rows, err := sess.RatioStudy(ctx)
 	if err != nil {
 		return err
@@ -611,7 +606,7 @@ func cmdTable3(ctx context.Context, args []string) error {
 	if err != nil {
 		return err
 	}
-	defer summarize("table3", sess, t0)
+	defer shutdownSession("table3", sess, t0)
 	rows, err := sess.Table3(ctx)
 	if err != nil {
 		return err
@@ -631,7 +626,7 @@ func cmdTable6(ctx context.Context, args []string) error {
 	if err != nil {
 		return err
 	}
-	defer summarize("table6", sess, t0)
+	defer shutdownSession("table6", sess, t0)
 	rows, err := sess.Table6(ctx)
 	if err != nil {
 		return err
@@ -652,7 +647,7 @@ func cmdTable7(ctx context.Context, args []string) error {
 	if err != nil {
 		return err
 	}
-	defer summarize("table7", sess, t0)
+	defer shutdownSession("table7", sess, t0)
 	rows, err := sess.Table7(ctx)
 	if err != nil {
 		return err
@@ -686,7 +681,7 @@ func cmdFig7(ctx context.Context, args []string) error {
 	if err != nil {
 		return err
 	}
-	defer summarize("fig7", sess, t0)
+	defer shutdownSession("fig7", sess, t0)
 	panels := []string{*panel}
 	if *panel == "all" {
 		panels = []string{"a", "b", "c", "d", "e", "f"}

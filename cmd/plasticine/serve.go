@@ -1,0 +1,57 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"time"
+
+	"plasticine/internal/serve"
+)
+
+// cmdServe runs the multi-tenant evaluation service: an HTTP/JSON API over
+// one shared session, with per-tenant quotas, weighted-fair dispatch,
+// load shedding and graceful drain on SIGTERM/SIGINT (finish in-flight
+// requests within -drain, flush the cache tier, exit 0).
+func cmdServe(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
+	addr := fs.String("addr", "localhost:9414", "listen address")
+	queueDepth := fs.Int("queue", 64, "admission queue bound; requests beyond it are shed with 429")
+	watermark := fs.Int("shed-watermark", 0, "queue depth at which heavy requests (sweeps) are shed (0 = 3/4 of -queue)")
+	concurrency := fs.Int("concurrency", 0, "dispatcher slots executing queued requests (0 = -workers)")
+	rate := fs.Float64("tenant-rate", 10, "per-tenant sustained requests/second (token-bucket refill)")
+	burst := fs.Float64("tenant-burst", 20, "per-tenant burst capacity (token-bucket size)")
+	deadline := fs.Duration("default-deadline", 60*time.Second, "deadline applied when the client sends no timeout")
+	maxDeadline := fs.Duration("max-deadline", 10*time.Minute, "clamp on client-supplied timeouts")
+	drain := fs.Duration("drain", 15*time.Second, "how long a shutdown waits for in-flight requests before canceling them")
+	heartbeat := fs.Duration("heartbeat", time.Second, "NDJSON heartbeat interval for streaming sweeps")
+	faultInjection := fs.Bool("fault-injection", false, "enable /debugz/panic (soak testing only)")
+	suite := addSuiteFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	t0 := time.Now()
+	sess, err := suite.session()
+	if err != nil {
+		return err
+	}
+	// The server's drain closes the session; the shared shutdown path is
+	// idempotent, so the summary still prints once on every exit route.
+	defer shutdownSession("serve", sess, t0)
+	srv, err := serve.New(serve.Config{
+		Session:         sess,
+		QueueDepth:      *queueDepth,
+		ShedWatermark:   *watermark,
+		Concurrency:     *concurrency,
+		TenantRate:      *rate,
+		TenantBurst:     *burst,
+		DefaultDeadline: *deadline,
+		MaxDeadline:     *maxDeadline,
+		DrainBudget:     *drain,
+		Heartbeat:       *heartbeat,
+		FaultInjection:  *faultInjection,
+	})
+	if err != nil {
+		return err
+	}
+	return srv.ListenAndServe(ctx, *addr)
+}

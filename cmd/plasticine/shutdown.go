@@ -1,0 +1,33 @@
+package main
+
+// The one shutdown path every session-owning subcommand shares. Suite
+// commands, recovery and serve all end the same way: make the persistent
+// cache tier durable (so an interrupted or killed run resumes from its
+// completed design points) and account for the run on stderr — keeping
+// stdout byte-identical across worker counts. Hoisted here so the SIGINT
+// path, the normal path and the server drain cannot drift apart.
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"plasticine/internal/core"
+)
+
+// shutdownSession closes the session (flushing the disk cache tier — Close
+// is idempotent, so a serve drain that already closed it is fine) and prints
+// the wall-time/cache summary. Subcommands defer it immediately after
+// building their session; on SIGINT/SIGTERM the deferred call still runs, so
+// completed work survives for a resumed run.
+func shutdownSession(cmd string, sess *core.Session, t0 time.Time) {
+	if err := sess.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "%s: cache flush: %v\n", cmd, err)
+	}
+	line := fmt.Sprintf("%s: %.2fs with %d worker(s); %s",
+		cmd, time.Since(t0).Seconds(), sess.Workers(), sess.CacheStats())
+	if r := sess.Retries(); r > 0 {
+		line += fmt.Sprintf("; %d job retries", r)
+	}
+	fmt.Fprintln(os.Stderr, line)
+}

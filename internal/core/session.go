@@ -12,6 +12,16 @@ package core
 // shared inputs (benchmark definitions, params, the base fault plan) are
 // treated as immutable — mutable fault plans are cloned per job — and merge
 // order is fixed by job index, never completion order.
+//
+// Concurrency: one Session may serve many goroutines at once — the serving
+// layer (internal/serve) drives exactly this pattern, mixing Run, Profile,
+// Explain and the sweeps through one shared handle. The audit behind that
+// claim: configuration (sys, plan, simOpts, policy, disk) is written only
+// during NewSession and read-only afterwards; the engine (pool, cache,
+// retry counter) is concurrency-safe by construction; per-call mutable
+// state (fault-plan clones, fresh benchmark instances, trace collectors) is
+// private to the call; and the lazily-built DSE driver is guarded by
+// dseOnce. TestSessionConcurrentMixedUse locks the property in under -race.
 
 import (
 	"context"
@@ -44,6 +54,11 @@ type Session struct {
 	dseOnce    sync.Once
 	dseSweep   *dse.Sweep
 	dseLoadErr error
+
+	// closeOnce makes Close idempotent: a server's drain path and its
+	// deferred cleanup may both call it.
+	closeOnce sync.Once
+	closeErr  error
 }
 
 // SessionOption configures a Session at construction.
@@ -117,6 +132,11 @@ func (s *Session) Params() arch.Params { return s.sys.Params }
 // Workers reports the engine's concurrency.
 func (s *Session) Workers() int { return s.engine.Workers() }
 
+// Engine exposes the session's evaluation engine — the serving layer reads
+// pool occupancy (Engine().Pool().Running()) for its load-shedding
+// watermark and /statsz.
+func (s *Session) Engine() *exec.Engine { return s.engine }
+
 // CacheStats snapshots the design-point cache counters. Misses equals the
 // number of distinct points evaluated, so it is identical at any worker
 // count; surface it in sweep summaries.
@@ -130,6 +150,17 @@ func (s *Session) Retries() int64 { return s.engine.Retries() }
 // it on shutdown — including interrupted shutdown — so completed design
 // points survive for the next run to resume from.
 func (s *Session) FlushCache() error { return s.engine.Cache().Disk().Flush() }
+
+// Close ends the session's lifecycle: it flushes the persistent cache tier
+// so every completed design point survives the process. Idempotent and safe
+// to call concurrently — later calls return the first call's error — and
+// deliberately tolerant of in-flight work: evaluations racing a Close still
+// finish correctly (writes after the flush are durable on their own; only
+// the directory-rename barrier is repeated by a later Close or process).
+func (s *Session) Close() error {
+	s.closeOnce.Do(func() { s.closeErr = s.FlushCache() })
+	return s.closeErr
+}
 
 // Run compiles and simulates one program under the session's plan and
 // options (uncached: arbitrary programs have no stable identity).

@@ -276,7 +276,16 @@ func (d *DiskCache) enforceCap() {
 		d.approx.Store(total)
 		return
 	}
-	sort.Slice(files, func(i, j int) bool { return files[i].mtime.Before(files[j].mtime) })
+	// Oldest first; equal mtimes — common on filesystems with 1s mtime
+	// granularity, where a whole burst of writes shares one timestamp —
+	// break deterministically by file name (the fingerprint-derived key) so
+	// eviction order never depends on directory iteration order.
+	sort.Slice(files, func(i, j int) bool {
+		if !files[i].mtime.Equal(files[j].mtime) {
+			return files[i].mtime.Before(files[j].mtime)
+		}
+		return files[i].path < files[j].path
+	})
 	for _, f := range files {
 		if total <= d.maxBytes {
 			break

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"time"
 )
 
@@ -41,9 +42,22 @@ type JobPolicy struct {
 	// gets after the first. Permanent errors never retry.
 	Retries int
 
-	// Backoff is the pause before retry r (1-based): Backoff << (r-1), so
-	// successive retries back off exponentially. 0 retries immediately.
+	// Backoff is the base pause before retry r (1-based): Backoff doubles
+	// per retry up to BackoffCap, then deterministic jitter scales the pause
+	// into [½d, d] so a fleet of jobs that failed together does not retry in
+	// lockstep. 0 retries immediately. See RetryDelay for the exact schedule.
 	Backoff time.Duration
+
+	// BackoffCap bounds the exponential growth of the pause (pre-jitter).
+	// 0 means DefaultBackoffCap; a cap below Backoff clamps every pause.
+	BackoffCap time.Duration
+
+	// Seed decorrelates the jitter of policies that share labels (e.g. one
+	// seed per serving tenant). The schedule is a pure function of
+	// (Seed, label, retry number), so retries are deterministic — two
+	// processes with the same policy draw the same pauses — without being
+	// synchronized across labels.
+	Seed uint64
 
 	// OnRetry observes every retry decision before the backoff pause:
 	// attempt is the 1-based retry number and err the transient failure
@@ -93,8 +107,8 @@ func (p JobPolicy) Run(ctx context.Context, label string, fn func(context.Contex
 		if p.OnRetry != nil {
 			p.OnRetry(attempt+1, err)
 		}
-		if p.Backoff > 0 {
-			t := time.NewTimer(p.Backoff << attempt)
+		if d := p.RetryDelay(label, attempt+1); d > 0 {
+			t := time.NewTimer(d)
 			select {
 			case <-ctx.Done():
 				t.Stop()
@@ -107,4 +121,50 @@ func (p JobPolicy) Run(ctx context.Context, label string, fn func(context.Contex
 		return fmt.Errorf("exec: %s: gave up after %d attempts: %w", label, retries+1, err)
 	}
 	return err
+}
+
+// DefaultBackoffCap bounds exponential backoff growth when JobPolicy leaves
+// BackoffCap zero: past it, every further retry waits the cap (jittered).
+const DefaultBackoffCap = 30 * time.Second
+
+// RetryDelay is the pause before retry r (1-based) of the job named label:
+// capped exponential backoff with deterministic jitter.
+//
+// The raw delay doubles from Backoff — Backoff, 2·Backoff, 4·Backoff, … —
+// and saturates at BackoffCap (DefaultBackoffCap when zero). Jitter then
+// scales it by a factor in [½, 1] drawn from an FNV-1a hash of
+// (Seed, label, r): deterministic, so a retry schedule is reproducible and
+// testable, but decorrelated across labels, so the retry storm after a
+// shared transient failure (many queued jobs timing out together) fans out
+// instead of hammering the same instant. Returns 0 when Backoff is 0.
+func (p JobPolicy) RetryDelay(label string, retry int) time.Duration {
+	if p.Backoff <= 0 || retry < 1 {
+		return 0
+	}
+	ceil := p.BackoffCap
+	if ceil <= 0 {
+		ceil = DefaultBackoffCap
+	}
+	d := p.Backoff
+	for i := 1; i < retry && d < ceil; i++ {
+		if d > ceil/2 {
+			d = ceil
+		} else {
+			d *= 2
+		}
+	}
+	if d > ceil {
+		d = ceil
+	}
+	// Deterministic jitter in [½d, d]: hash → uniform fraction in [0, 1).
+	h := fnv.New64a()
+	var buf [16]byte
+	for i := 0; i < 8; i++ {
+		buf[i] = byte(p.Seed >> (8 * i))
+		buf[8+i] = byte(uint64(retry) >> (8 * i))
+	}
+	h.Write(buf[:])
+	h.Write([]byte(label))
+	frac := float64(h.Sum64()%(1<<20)) / (1 << 20)
+	return time.Duration(float64(d) * (0.5 + 0.5*frac))
 }

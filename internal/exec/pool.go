@@ -67,6 +67,12 @@ func call(ctx context.Context, i int, fn func(context.Context, int) error) (err 
 // jobs sequentially on the calling goroutine.
 type Pool struct {
 	workers int
+
+	// running counts jobs currently executing inside Map, across every
+	// concurrent Map call sharing this pool. It is introspection for
+	// occupancy-aware callers (the serving layer's load-shedding watermark
+	// and /statsz), not admission control: Map never blocks on it.
+	running atomic.Int64
 }
 
 // NewPool returns a pool with the given number of workers; n <= 0 means
@@ -84,6 +90,25 @@ func (p *Pool) Workers() int {
 		return 1
 	}
 	return p.workers
+}
+
+// Running reports how many jobs are executing right now across all Map
+// calls sharing this pool — a point-in-time occupancy reading for load
+// shedding and stats endpoints. Nil-safe (a nil pool reports 0).
+func (p *Pool) Running() int {
+	if p == nil {
+		return 0
+	}
+	return int(p.running.Load())
+}
+
+// track wraps one job execution in the occupancy counter.
+func (p *Pool) track(ctx context.Context, i int, fn func(context.Context, int) error) error {
+	if p != nil {
+		p.running.Add(1)
+		defer p.running.Add(-1)
+	}
+	return call(ctx, i, fn)
 }
 
 // Map runs fn(ctx, i) for every i in [0, n), spread across the pool's
@@ -116,7 +141,7 @@ func (p *Pool) Map(ctx context.Context, n int, fn func(ctx context.Context, i in
 			if err := ctx.Err(); err != nil {
 				return err
 			}
-			if err := call(ctx, i, fn); err != nil {
+			if err := p.track(ctx, i, fn); err != nil {
 				return err
 			}
 		}
@@ -140,7 +165,7 @@ func (p *Pool) Map(ctx context.Context, n int, fn func(ctx context.Context, i in
 				if i >= n || jobCtx.Err() != nil {
 					return
 				}
-				if err := call(jobCtx, i, fn); err != nil {
+				if err := p.track(jobCtx, i, fn); err != nil {
 					errs[i] = err
 					if isCancellation(err) && jobCtx.Err() != nil {
 						secondary[i] = true

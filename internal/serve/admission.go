@@ -1,0 +1,94 @@
+package serve
+
+import (
+	"sync"
+	"time"
+)
+
+// CheapCost is the token-bucket cost of a cheap request (explain, compile
+// probes): a tenant out of full tokens can still afford several of these, so
+// introspection keeps working while that tenant's heavy traffic is shed.
+const CheapCost = 0.1
+
+// TenantCounters is one tenant's admission ledger, exposed by /statsz.
+type TenantCounters struct {
+	Admitted    int64 `json:"admitted"`     // entered a handler (queued or inline)
+	Completed   int64 `json:"completed"`    // answered 2xx
+	Failed      int64 `json:"failed"`       // answered 4xx/5xx after admission
+	Shed        int64 `json:"shed"`         // 429: queue bound or shed watermark
+	QuotaDenied int64 `json:"quota_denied"` // 429: token bucket empty
+}
+
+// admission owns per-tenant token buckets and counters. Buckets refill
+// continuously at rate tokens/second up to burst; a request is admitted when
+// its cost fits the current level.
+type admission struct {
+	mu      sync.Mutex
+	rate    float64
+	burst   float64
+	now     func() time.Time
+	tenants map[string]*tenantState
+}
+
+type tenantState struct {
+	tokens   float64
+	last     time.Time
+	counters TenantCounters
+}
+
+func newAdmission(rate, burst float64, now func() time.Time) *admission {
+	return &admission{rate: rate, burst: burst, now: now, tenants: map[string]*tenantState{}}
+}
+
+// state returns (creating if needed) the tenant's bucket, refilled to now.
+// Callers hold a.mu.
+func (a *admission) state(tenant string) *tenantState {
+	t := a.tenants[tenant]
+	now := a.now()
+	if t == nil {
+		t = &tenantState{tokens: a.burst, last: now}
+		a.tenants[tenant] = t
+		return t
+	}
+	t.tokens += now.Sub(t.last).Seconds() * a.rate
+	if t.tokens > a.burst {
+		t.tokens = a.burst
+	}
+	t.last = now
+	return t
+}
+
+// take spends cost tokens from tenant's bucket. When the bucket cannot
+// cover it, take reports the time until it can — the 429 Retry-After hint.
+func (a *admission) take(tenant string, cost float64) (ok bool, retryAfter time.Duration) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	t := a.state(tenant)
+	if t.tokens >= cost {
+		t.tokens -= cost
+		return true, 0
+	}
+	wait := time.Duration((cost - t.tokens) / a.rate * float64(time.Second))
+	if wait < time.Second {
+		wait = time.Second
+	}
+	return false, wait
+}
+
+// count applies f to tenant's counters under the lock.
+func (a *admission) count(tenant string, f func(*TenantCounters)) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	f(&a.state(tenant).counters)
+}
+
+// snapshot copies every tenant's counters for /statsz.
+func (a *admission) snapshot() map[string]TenantCounters {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make(map[string]TenantCounters, len(a.tenants))
+	for name, t := range a.tenants {
+		out[name] = t.counters
+	}
+	return out
+}

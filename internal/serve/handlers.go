@@ -1,0 +1,448 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"strconv"
+	"time"
+
+	"plasticine/internal/compiler"
+	"plasticine/internal/core"
+	"plasticine/internal/exec"
+	"plasticine/internal/trace"
+	"plasticine/internal/workloads"
+)
+
+// reqClass buckets endpoints by cost for admission purposes.
+type reqClass int
+
+const (
+	// classCheap requests (explain) bypass the dispatch queue: they run
+	// inline on the handler goroutine, cost a fraction of a quota token,
+	// and are still served while the queue sheds — degrade, don't die.
+	classCheap reqClass = iota
+	// classNormal requests (compile, run, profile) take one token and one
+	// queue slot.
+	classNormal
+	// classHeavy requests (sweeps) take one token and are the first shed:
+	// they are refused once the queue crosses the shed watermark.
+	classHeavy
+)
+
+// errorBody is the JSON shape of every non-2xx answer.
+type errorBody struct {
+	Error      string `json:"error"`
+	RetryAfter int    `json:"retry_after_sec,omitempty"`
+}
+
+// routes builds the endpoint table.
+func (s *Server) routes() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/readyz", s.handleReadyz)
+	mux.HandleFunc("/statsz", s.handleStatsz)
+	mux.HandleFunc("/v1/compile", s.unary(classNormal, s.runCompile))
+	mux.HandleFunc("/v1/run", s.unary(classNormal, s.runBenchmark))
+	mux.HandleFunc("/v1/profile", s.unary(classNormal, s.runProfile))
+	mux.HandleFunc("/v1/explain", s.unary(classCheap, s.runExplain))
+	mux.HandleFunc("/v1/sweep", s.handleSweep)
+	if s.cfg.FaultInjection {
+		mux.HandleFunc("/debugz/panic", s.unary(classNormal, func(ctx context.Context, r *http.Request) (any, error) {
+			panic("fault injection: /debugz/panic")
+		}))
+	}
+	return mux
+}
+
+// tenantOf identifies the requesting tenant: X-Tenant header, then the
+// tenant query parameter, then "anon".
+func tenantOf(r *http.Request) string {
+	if t := r.Header.Get("X-Tenant"); t != "" {
+		return t
+	}
+	if t := r.URL.Query().Get("tenant"); t != "" {
+		return t
+	}
+	return "anon"
+}
+
+// requestContext derives the job context: the client's deadline (timeout
+// query parameter or X-Timeout header, clamped to MaxDeadline, defaulted to
+// DefaultDeadline) on top of the request context, all cut loose when the
+// drain budget expires (hardCtx).
+func (s *Server) requestContext(r *http.Request) (context.Context, context.CancelFunc, error) {
+	raw := r.URL.Query().Get("timeout")
+	if raw == "" {
+		raw = r.Header.Get("X-Timeout")
+	}
+	d := s.cfg.DefaultDeadline
+	if raw != "" {
+		parsed, err := time.ParseDuration(raw)
+		if err != nil || parsed <= 0 {
+			return nil, nil, fmt.Errorf("bad timeout %q: want a positive Go duration like 30s", raw)
+		}
+		d = parsed
+	}
+	if d > s.cfg.MaxDeadline {
+		d = s.cfg.MaxDeadline
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), d)
+	stop := context.AfterFunc(s.hardCtx, cancel)
+	return ctx, func() { stop(); cancel() }, nil
+}
+
+// writeJSON marshals before committing the status line, so an unencodable
+// value becomes a 500 rather than a 200 with a truncated body.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	data, err := safeMarshal(v, true)
+	if err != nil {
+		data, status = []byte(`{"error":"internal: response is not JSON-encodable"}`), http.StatusInternalServerError
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(data)
+	w.Write([]byte("\n"))
+}
+
+func writeError(w http.ResponseWriter, status int, msg string, retryAfter time.Duration) {
+	body := errorBody{Error: msg}
+	if retryAfter > 0 {
+		sec := int(retryAfter.Round(time.Second) / time.Second)
+		if sec < 1 {
+			sec = 1
+		}
+		body.RetryAfter = sec
+		w.Header().Set("Retry-After", strconv.Itoa(sec))
+	}
+	writeJSON(w, status, body)
+}
+
+// statusOf maps an evaluation error to its HTTP status: panics are the
+// server's fault (500), deadline expiry is 504, cancellation is the drain
+// path (503), and everything else — compile failures, infeasible mappings,
+// functional-check mismatches — is a well-formed negative answer about the
+// request itself (422).
+func statusOf(err error) int {
+	var pe *exec.PanicError
+	var nf notFoundError
+	switch {
+	case errors.As(err, &pe):
+		return http.StatusInternalServerError
+	case errors.As(err, &nf):
+		return http.StatusNotFound
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusUnprocessableEntity
+	}
+}
+
+// job is one queued request: the dispatcher runs run under ctx and delivers
+// through done.
+type job struct {
+	ctx  context.Context
+	run  func(context.Context) (any, error)
+	val  any
+	err  error
+	done chan struct{}
+}
+
+func (j *job) finish(v any, err error) {
+	j.val, j.err = v, err
+	close(j.done)
+}
+
+// enterRequest is the gated front half of admission: drain check, tenant
+// quota, and in-flight registration, all under the admission gate so a
+// request is either fully registered before a drain's inflight.Wait or
+// refused — never half-admitted. On false the response has been written;
+// on true the caller owes one inflight.Done.
+func (s *Server) enterRequest(w http.ResponseWriter, tenant string, cost float64) bool {
+	s.admitMu.RLock()
+	if s.draining() {
+		s.admitMu.RUnlock()
+		writeError(w, http.StatusServiceUnavailable, "server is draining", time.Second)
+		return false
+	}
+	if ok, retryAfter := s.adm.take(tenant, cost); !ok {
+		s.admitMu.RUnlock()
+		s.adm.count(tenant, func(c *TenantCounters) { c.QuotaDenied++ })
+		writeError(w, http.StatusTooManyRequests,
+			fmt.Sprintf("tenant %q is over its request quota", tenant), retryAfter)
+		return false
+	}
+	s.requests.Add(1)
+	s.adm.count(tenant, func(c *TenantCounters) { c.Admitted++ })
+	s.inflight.Add(1)
+	s.admitMu.RUnlock()
+	return true
+}
+
+// admit runs the shared admission pipeline: drain check, tenant quota,
+// shedding, queueing, and execution (inline for cheap requests, via a
+// dispatcher slot otherwise). On a non-nil error the response has already
+// been written.
+func (s *Server) admit(w http.ResponseWriter, r *http.Request, class reqClass, run func(context.Context) (any, error)) (any, error, bool) {
+	tenant := tenantOf(r)
+	cost := 1.0
+	if class == classCheap {
+		cost = CheapCost
+	}
+	if !s.enterRequest(w, tenant, cost) {
+		return nil, nil, false
+	}
+	defer s.inflight.Done()
+
+	ctx, cancel, err := s.requestContext(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error(), 0)
+		return nil, nil, false
+	}
+	defer cancel()
+
+	record := func(err error) {
+		s.adm.count(tenant, func(c *TenantCounters) {
+			if err == nil {
+				c.Completed++
+			} else {
+				c.Failed++
+			}
+		})
+	}
+
+	if class == classCheap {
+		v, err := runIsolated(ctx, run)
+		record(err)
+		return v, err, true
+	}
+
+	if class == classHeavy && s.queue.Len() >= s.cfg.ShedWatermark {
+		s.adm.count(tenant, func(c *TenantCounters) { c.Shed++ })
+		writeError(w, http.StatusTooManyRequests,
+			"queue past its shed watermark; retry later", s.estimatedWait())
+		return nil, nil, false
+	}
+	j := &job{ctx: ctx, run: run, done: make(chan struct{})}
+	weight := s.cfg.TenantWeights[tenant]
+	if err := s.queue.Push(tenant, weight, j); err != nil {
+		switch {
+		case errors.Is(err, exec.ErrQueueFull):
+			s.adm.count(tenant, func(c *TenantCounters) { c.Shed++ })
+			writeError(w, http.StatusTooManyRequests, "queue full; retry later", s.estimatedWait())
+		default: // closed: drain won the race
+			writeError(w, http.StatusServiceUnavailable, "server is draining", time.Second)
+		}
+		return nil, nil, false
+	}
+	select {
+	case <-j.done:
+		record(j.err)
+		return j.val, j.err, true
+	case <-ctx.Done():
+		// Deadline or drain cut-off while queued or mid-execution; the
+		// dispatcher discards the orphaned job when it reaches it.
+		record(ctx.Err())
+		writeError(w, statusOf(ctx.Err()), requestDeathMessage(ctx), 0)
+		return nil, nil, false
+	}
+}
+
+// requestDeathMessage phrases a dead request context for the client.
+func requestDeathMessage(ctx context.Context) string {
+	if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+		return "deadline exceeded before the evaluation finished"
+	}
+	return "request canceled"
+}
+
+// unary wraps an endpoint body in the admission pipeline and JSON response
+// writing.
+func (s *Server) unary(class reqClass, body func(context.Context, *http.Request) (any, error)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		v, err, handled := s.admit(w, r, class, func(ctx context.Context) (any, error) {
+			return body(ctx, r)
+		})
+		if !handled {
+			return
+		}
+		if err != nil {
+			var pe *exec.PanicError
+			if errors.As(err, &pe) {
+				// The stack goes to the log, not the client.
+				s.cfg.Logf("request panic (isolated): %v", pe.Value)
+				writeError(w, http.StatusInternalServerError, "internal: request evaluation panicked", 0)
+				return
+			}
+			writeError(w, statusOf(err), err.Error(), 0)
+			return
+		}
+		writeJSON(w, http.StatusOK, v)
+	}
+}
+
+// benchParam resolves the bench query parameter to a benchmark.
+func benchParam(r *http.Request) (workloads.Benchmark, error) {
+	name := r.URL.Query().Get("bench")
+	if name == "" {
+		return nil, errors.New("missing bench parameter (see plasticine list)")
+	}
+	return workloads.ByName(name)
+}
+
+// notFoundAsStatus maps a missing-benchmark error to 404 in unary bodies by
+// tagging it; the default mapping would call it 422.
+type notFoundError struct{ error }
+
+func (s *Server) resolveBench(r *http.Request) (workloads.Benchmark, error) {
+	b, err := benchParam(r)
+	if err != nil {
+		return nil, notFoundError{err}
+	}
+	return b, nil
+}
+
+// compileResponse is /v1/compile's answer.
+type compileResponse struct {
+	Bench     string               `json:"bench"`
+	Summary   string               `json:"summary"`
+	Util      compiler.Utilization `json:"util"`
+	Bitstream json.RawMessage      `json:"bitstream,omitempty"`
+}
+
+func (s *Server) runCompile(ctx context.Context, r *http.Request) (any, error) {
+	b, err := s.resolveBench(r)
+	if err != nil {
+		return nil, err
+	}
+	p, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	m, err := compiler.CompileOpts(ctx, p, compiler.Options{Params: s.sess.Params()})
+	if err != nil {
+		return nil, err
+	}
+	resp := &compileResponse{Bench: b.Name(), Summary: m.Summary(), Util: m.Util}
+	if r.URL.Query().Get("bitstream") == "1" {
+		var buf bytes.Buffer
+		if err := compiler.GenerateBitstream(m).Encode(&buf); err != nil {
+			return nil, err
+		}
+		resp.Bitstream = json.RawMessage(buf.Bytes())
+	}
+	return resp, nil
+}
+
+func (s *Server) runBenchmark(ctx context.Context, r *http.Request) (any, error) {
+	b, err := s.resolveBench(r)
+	if err != nil {
+		return nil, err
+	}
+	return s.sess.RunBenchmark(ctx, b)
+}
+
+// profileResponse is /v1/profile's answer: the evaluation row plus the
+// cycle-accounting reports (the Chrome trace export stays a CLI affair).
+type profileResponse struct {
+	Bench   *core.BenchResult    `json:"bench"`
+	Report  *trace.Report        `json:"report"`
+	Pattern *trace.PatternReport `json:"by_pattern"`
+}
+
+func (s *Server) runProfile(ctx context.Context, r *http.Request) (any, error) {
+	b, err := s.resolveBench(r)
+	if err != nil {
+		return nil, err
+	}
+	p, err := s.sess.Profile(ctx, b)
+	if err != nil {
+		return nil, err
+	}
+	return &profileResponse{Bench: p.Bench, Report: p.Report, Pattern: p.Pattern}, nil
+}
+
+func (s *Server) runExplain(ctx context.Context, r *http.Request) (any, error) {
+	b, err := s.resolveBench(r)
+	if err != nil {
+		return nil, err
+	}
+	return s.sess.Explain(b)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if s.draining() {
+		w.Header().Set("Retry-After", "1")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "draining")
+		return
+	}
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprintln(w, "ready")
+}
+
+// Stats is the /statsz document: one snapshot of the serving state, used by
+// operators, the soak test's goroutine-leak check, and the load-shedding
+// examples in the README.
+type Stats struct {
+	State            string  `json:"state"`
+	UptimeSec        float64 `json:"uptime_sec"`
+	Requests         int64   `json:"requests"`
+	QueueDepth       int     `json:"queue_depth"`
+	QueueCap         int     `json:"queue_cap"`
+	ShedWatermark    int     `json:"shed_watermark"`
+	SlotsBusy        int     `json:"slots_busy"`
+	Slots            int     `json:"slots"`
+	PoolRunning      int     `json:"pool_running"`
+	Goroutines       int     `json:"goroutines"`
+	EstimatedWaitSec float64 `json:"estimated_wait_sec"`
+
+	TenantQueues map[string]int            `json:"tenant_queues,omitempty"`
+	Tenants      map[string]TenantCounters `json:"tenants,omitempty"`
+
+	Cache      exec.CacheStats `json:"cache"`
+	JobRetries int64           `json:"job_retries"`
+}
+
+// snapshotStats assembles the /statsz document.
+func (s *Server) snapshotStats() Stats {
+	state := "serving"
+	switch s.state.Load() {
+	case stateDraining:
+		state = "draining"
+	case stateStopped:
+		state = "stopped"
+	}
+	return Stats{
+		State:            state,
+		UptimeSec:        s.cfg.now().Sub(s.start).Seconds(),
+		Requests:         s.requests.Load(),
+		QueueDepth:       s.queue.Len(),
+		QueueCap:         s.queue.Cap(),
+		ShedWatermark:    s.cfg.ShedWatermark,
+		SlotsBusy:        int(s.busy.Load()),
+		Slots:            s.cfg.Concurrency,
+		PoolRunning:      s.sess.Engine().Pool().Running(),
+		Goroutines:       runtime.NumGoroutine(),
+		EstimatedWaitSec: s.estimatedWait().Seconds(),
+		TenantQueues:     s.queue.Depths(),
+		Tenants:          s.adm.snapshot(),
+		Cache:            s.sess.CacheStats(),
+		JobRetries:       s.sess.Retries(),
+	}
+}
+
+func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.snapshotStats())
+}

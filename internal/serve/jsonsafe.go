@@ -1,0 +1,127 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"reflect"
+	"strings"
+)
+
+// The DSE layer marks infeasible design points with +Inf (dse.Infeasible),
+// which encoding/json refuses outright — and an encode failure after a 200
+// header is committed would silently truncate the response. safeMarshal is
+// the boundary guard: it tries a plain marshal first (the fast path for the
+// overwhelmingly common all-finite case) and only on failure re-encodes with
+// every non-finite float mapped to null, which JSON clients read naturally
+// as "no value here".
+func safeMarshal(v any, indent bool) ([]byte, error) {
+	marshal := func(v any) ([]byte, error) {
+		if indent {
+			return json.MarshalIndent(v, "", "  ")
+		}
+		return json.Marshal(v)
+	}
+	data, err := marshal(v)
+	if err == nil {
+		return data, nil
+	}
+	return marshal(sanitizeValue(v))
+}
+
+// sanitizeValue deep-copies v into a JSON-encodable tree of maps, slices and
+// scalars, mapping NaN and ±Inf to nil. Struct fields follow their json tags
+// (name overrides and "-"; omitempty is deliberately ignored — a result
+// payload with explicit zeros is still correct JSON).
+func sanitizeValue(v any) any {
+	return sanitize(reflect.ValueOf(v))
+}
+
+func sanitize(rv reflect.Value) any {
+	if !rv.IsValid() {
+		return nil
+	}
+	// A type with custom JSON (time.Time, json.RawMessage holders) encodes
+	// itself; only fall through to the walk when that fails too.
+	if rv.CanInterface() {
+		if m, ok := rv.Interface().(json.Marshaler); ok {
+			if data, err := m.MarshalJSON(); err == nil {
+				return json.RawMessage(data)
+			}
+		}
+	}
+	switch rv.Kind() {
+	case reflect.Float32, reflect.Float64:
+		f := rv.Float()
+		if math.IsNaN(f) || math.IsInf(f, 0) {
+			return nil
+		}
+		return f
+	case reflect.Pointer, reflect.Interface:
+		if rv.IsNil() {
+			return nil
+		}
+		return sanitize(rv.Elem())
+	case reflect.Slice:
+		if rv.IsNil() {
+			return nil
+		}
+		fallthrough
+	case reflect.Array:
+		out := make([]any, rv.Len())
+		for i := range out {
+			out[i] = sanitize(rv.Index(i))
+		}
+		return out
+	case reflect.Map:
+		if rv.IsNil() {
+			return nil
+		}
+		out := make(map[string]any, rv.Len())
+		iter := rv.MapRange()
+		for iter.Next() {
+			out[fmt.Sprint(iter.Key().Interface())] = sanitize(iter.Value())
+		}
+		return out
+	case reflect.Struct:
+		t := rv.Type()
+		out := make(map[string]any, t.NumField())
+		for i := 0; i < t.NumField(); i++ {
+			f := t.Field(i)
+			if !f.IsExported() {
+				continue
+			}
+			tag := f.Tag.Get("json")
+			if tag == "-" {
+				continue
+			}
+			name := f.Name
+			if tag != "" {
+				if c := strings.IndexByte(tag, ','); c >= 0 {
+					if tag[:c] != "" {
+						name = tag[:c]
+					}
+				} else {
+					name = tag
+				}
+			}
+			if f.Anonymous && tag == "" {
+				// Embedded field without a tag: inline its fields, like
+				// encoding/json does.
+				if m, ok := sanitize(rv.Field(i)).(map[string]any); ok {
+					for k, mv := range m {
+						out[k] = mv
+					}
+					continue
+				}
+			}
+			out[name] = sanitize(rv.Field(i))
+		}
+		return out
+	default:
+		if rv.CanInterface() {
+			return rv.Interface()
+		}
+		return nil
+	}
+}

@@ -1,0 +1,185 @@
+// Command serve-load is the soak client for `plasticine serve`: it drives a
+// running server through the failure modes the serving layer promises to
+// survive and exits non-zero if any promise breaks.
+//
+//	serve-load -addr http://localhost:9414 [-burst 64] [-expect-shed] [-panic]
+//
+// Checks, in order:
+//
+//  1. Readiness: /readyz answers 200 within -wait.
+//  2. Burst: -burst concurrent mixed requests (run/compile/explain/sweep
+//     across -tenants tenants). Overload must shed with 429 (or 504 for
+//     expired deadlines) — any 5xx or dropped connection fails the soak;
+//     with -expect-shed, at least one 429 must actually occur.
+//  3. Cache: an identical request set repeated afterwards must raise the
+//     server's cache hit counter — tenants share one design-point cache.
+//  4. Panic isolation (-panic): /debugz/panic must answer 500 and the very
+//     next request 200 — one poisoned request, not a dead process.
+//  5. Leaks: the final /statsz goroutine count must be under -max-goroutines
+//     after the storm has passed.
+//
+// The SIGTERM drain check (signal mid-flight, expect exit 0 and a flushed
+// cache tier) is orchestrated by the caller — see the CI workflow — because
+// it is about the server process, not the HTTP surface.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sync"
+	"time"
+)
+
+var (
+	addr          = flag.String("addr", "http://localhost:9414", "server base URL")
+	burst         = flag.Int("burst", 64, "concurrent requests in the overload burst (size it at ~4x server capacity)")
+	tenants       = flag.Int("tenants", 4, "distinct tenants issuing the burst")
+	expectShed    = flag.Bool("expect-shed", false, "fail unless the burst actually produced at least one 429")
+	panicProbe    = flag.Bool("panic", false, "probe /debugz/panic (server must run with -fault-injection)")
+	maxGoroutines = flag.Int("max-goroutines", 500, "goroutine ceiling in the final /statsz snapshot")
+	wait          = flag.Duration("wait", 30*time.Second, "how long to wait for /readyz")
+)
+
+var client = &http.Client{Timeout: 5 * time.Minute}
+
+// get issues one GET and returns (status, body); status 0 means the
+// connection itself failed — always a soak failure.
+func get(path string) (int, []byte) {
+	resp, err := client.Get(*addr + path)
+	if err != nil {
+		return 0, []byte(err.Error())
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	return resp.StatusCode, body
+}
+
+// stats fetches the fields of /statsz this client cares about.
+type stats struct {
+	Goroutines int `json:"goroutines"`
+	Cache      struct {
+		Hits   int64 `json:"Hits"`
+		Misses int64 `json:"Misses"`
+	} `json:"cache"`
+	Tenants map[string]struct {
+		Admitted int64 `json:"admitted"`
+		Shed     int64 `json:"shed"`
+	} `json:"tenants"`
+}
+
+func snapshot() (stats, error) {
+	var st stats
+	code, body := get("/statsz")
+	if code != 200 {
+		return st, fmt.Errorf("/statsz = %d: %s", code, body)
+	}
+	return st, json.Unmarshal(body, &st)
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "serve-load: FAIL: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+func main() {
+	flag.Parse()
+
+	// 1. Readiness.
+	deadline := time.Now().Add(*wait)
+	for {
+		if code, _ := get("/readyz"); code == 200 {
+			break
+		}
+		if time.Now().After(deadline) {
+			fail("server not ready within %s", *wait)
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
+	fmt.Println("serve-load: server ready")
+
+	// 2. Overload burst: mixed request classes, several tenants. The
+	// contract under overload is shed-with-429, never 5xx, never a dropped
+	// connection. 504 is legal too: a deadline can expire while queued.
+	paths := []string{
+		"/v1/run?bench=InnerProduct",
+		"/v1/run?bench=BlackScholes",
+		"/v1/run?bench=GEMM",
+		"/v1/compile?bench=TPCHQ6",
+		"/v1/explain?bench=GDA",
+		"/v1/sweep?kind=bench&bench=InnerProduct",
+	}
+	codes := make([]int, *burst)
+	var wg sync.WaitGroup
+	for i := 0; i < *burst; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			p := fmt.Sprintf("%s&tenant=soak%d", paths[i%len(paths)], i%*tenants)
+			codes[i], _ = get(p)
+		}(i)
+	}
+	wg.Wait()
+	tally := map[int]int{}
+	for i, code := range codes {
+		tally[code]++
+		switch {
+		case code == 0:
+			fail("request %d (%s): connection dropped under load", i, paths[i%len(paths)])
+		case code >= 500:
+			fail("request %d (%s) = %d: overload must answer 429, never 5xx", i, paths[i%len(paths)], code)
+		}
+	}
+	fmt.Printf("serve-load: burst of %d: statuses %v\n", *burst, tally)
+	if *expectShed && tally[http.StatusTooManyRequests] == 0 {
+		fail("burst of %d produced no 429s; shedding never engaged", *burst)
+	}
+
+	// 3. Cross-tenant cache coalescing: repeat an identical set from a fresh
+	// tenant and require the hit counter to move.
+	before, err := snapshot()
+	if err != nil {
+		fail("statsz before repeat: %v", err)
+	}
+	for _, p := range []string{"/v1/run?bench=InnerProduct&tenant=repeat", "/v1/run?bench=InnerProduct&tenant=repeat2"} {
+		if code, body := get(p); code != 200 {
+			fail("repeat request %s = %d: %s", p, code, body)
+		}
+	}
+	after, err := snapshot()
+	if err != nil {
+		fail("statsz after repeat: %v", err)
+	}
+	if after.Cache.Hits <= before.Cache.Hits {
+		fail("cache hits did not move on repeated requests (%d -> %d)", before.Cache.Hits, after.Cache.Hits)
+	}
+	fmt.Printf("serve-load: cache hits %d -> %d on repeat\n", before.Cache.Hits, after.Cache.Hits)
+
+	// 4. Panic isolation.
+	if *panicProbe {
+		code, _ := get("/debugz/panic")
+		if code != 500 {
+			fail("/debugz/panic = %d, want 500", code)
+		}
+		if code, body := get("/v1/run?bench=InnerProduct&tenant=afterpanic"); code != 200 {
+			fail("request after panic = %d: %s — the process must survive a poisoned request", code, body)
+		}
+		fmt.Println("serve-load: panic isolated; server survived")
+	}
+
+	// 5. Goroutine ceiling after the storm: give pollers a moment to wind
+	// down, then check the final snapshot.
+	time.Sleep(500 * time.Millisecond)
+	final, err := snapshot()
+	if err != nil {
+		fail("final statsz: %v", err)
+	}
+	if final.Goroutines > *maxGoroutines {
+		fail("%d goroutines after the storm (ceiling %d): likely a leak", final.Goroutines, *maxGoroutines)
+	}
+	fmt.Printf("serve-load: OK (%d goroutines, %d cache hits, %d tenants seen)\n",
+		final.Goroutines, final.Cache.Hits, len(final.Tenants))
+}
