@@ -12,6 +12,7 @@
 //	plasticine table6            generalization area-overhead ladder
 //	plasticine table7            full evaluation vs the FPGA baseline
 //	plasticine fig7 [-panel a]   design-space sweep panels a-f
+//	plasticine tune              Pareto-front auto-tuner over the design space
 //
 // Every subcommand is a thin shell over core.Session, the library facade
 // that owns the worker pool and the design-point cache. Suite commands take
@@ -84,6 +85,8 @@ func main() {
 		err = cmdBitstream(args)
 	case "ratios":
 		err = cmdRatios(ctx, args)
+	case "tune":
+		err = cmdTune(ctx, args)
 	case "serve":
 		err = cmdServe(ctx, args)
 	case "help", "-h", "--help":
@@ -156,10 +159,19 @@ commands:
                     emit the compiled configuration (assembly or JSON)
   ratios [suite flags]
                     PMU:PCU provisioning study (Section 3.7)
+  tune [-mix m] [-max-area mm2] [-max-power W] [-budget N] [-pop N]
+       [-seed N] [-max-generations N] [-shard i/N] [-shard-wait d]
+       [-json] [suite flags]
+                    Pareto-front auto-tuner: search the architecture design
+                    space for the given workload mix, minimising weighted
+                    cycles, area and power under analytical constraints;
+                    deterministic per -seed at any -workers, resumable from
+                    a -cache-dir snapshot after a kill, shardable across
+                    processes with -shard
   serve [-addr host:port] [-queue N] [-tenant-rate R] [-drain d] [suite flags]
                     multi-tenant evaluation service: HTTP/JSON endpoints
                     (/v1/run, /v1/compile, /v1/profile, /v1/explain,
-                    /v1/sweep, /statsz) over one shared session, with
+                    /v1/sweep, /v1/tune, /statsz) over one shared session, with
                     per-tenant quotas, weighted-fair dispatch, load shedding
                     (429 + Retry-After, never 5xx under overload) and a
                     graceful SIGTERM drain that flushes the cache tier

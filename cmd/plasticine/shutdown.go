@@ -20,6 +20,10 @@ import (
 // the wall-time/cache summary. Subcommands defer it immediately after
 // building their session; on SIGINT/SIGTERM the deferred call still runs, so
 // completed work survives for a resumed run.
+// On the signal path this summary races with worker goroutines that have
+// not observed cancellation yet; that is safe because every cache counter
+// behind CacheStats (memory and disk tier alike) is atomic — see
+// DiskCache.Stats.
 func shutdownSession(cmd string, sess *core.Session, t0 time.Time) {
 	if err := sess.Close(); err != nil {
 		fmt.Fprintf(os.Stderr, "%s: cache flush: %v\n", cmd, err)

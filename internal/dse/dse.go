@@ -35,17 +35,32 @@ func LoadBenches() ([]*Bench, error) {
 		if b.Name() == "CNN" {
 			continue
 		}
-		p, err := b.Build()
+		bench, err := LoadBench(b.Name())
 		if err != nil {
-			return nil, fmt.Errorf("dse: %s: %w", b.Name(), err)
+			return nil, err
 		}
-		v, err := compiler.Allocate(p)
-		if err != nil {
-			return nil, fmt.Errorf("dse: %s: %w", b.Name(), err)
-		}
-		out = append(out, &Bench{Name: b.Name(), PCUs: v.PCUs, PMUs: v.PMUs})
+		out = append(out, bench)
 	}
 	return out, nil
+}
+
+// LoadBench allocates virtual units for one registry benchmark by name —
+// the single-benchmark form of LoadBenches, used by the auto-tuner to load
+// a workload mix (including CNN, which the Figure 7 set excludes).
+func LoadBench(name string) (*Bench, error) {
+	b, err := workloads.ByName(name)
+	if err != nil {
+		return nil, err
+	}
+	p, err := b.Build()
+	if err != nil {
+		return nil, fmt.Errorf("dse: %s: %w", b.Name(), err)
+	}
+	v, err := compiler.Allocate(p)
+	if err != nil {
+		return nil, fmt.Errorf("dse: %s: %w", b.Name(), err)
+	}
+	return &Bench{Name: b.Name(), PCUs: v.PCUs, PMUs: v.PMUs}, nil
 }
 
 // pcuRanges is the full design space of Table 3, used when minimising the
@@ -98,9 +113,12 @@ func maxParams() arch.PCUParams {
 	}
 }
 
-// benchPCUArea returns the total PCU area of a benchmark under params, or
-// Infeasible if any unit cannot be partitioned.
-func benchPCUArea(b *Bench, p arch.PCUParams, chip arch.ChipParams) float64 {
+// AnalyticalArea returns the total PCU area of a benchmark under p, or
+// Infeasible if any unit cannot be partitioned. This is the simulation-free
+// area model the sweeps minimise and the auto-tuner prunes with: the cost is
+// one partitioning pass per virtual unit — no placement, routing or
+// simulation is ever paid.
+func AnalyticalArea(b *Bench, p arch.PCUParams, chip arch.ChipParams) float64 {
 	unitArea := arch.PCUArea(p, chip)
 	total := 0.0
 	for _, u := range b.PCUs {
@@ -111,6 +129,33 @@ func benchPCUArea(b *Bench, p arch.PCUParams, chip arch.ChipParams) float64 {
 		total += float64(len(parts)*u.Unroll) * unitArea
 	}
 	return total
+}
+
+// benchPCUArea is AnalyticalArea under its historical internal name; the
+// sweeps' cached paths still call it.
+func benchPCUArea(b *Bench, p arch.PCUParams, chip arch.ChipParams) float64 {
+	return AnalyticalArea(b, p, chip)
+}
+
+// CheckFeasible reports whether a benchmark can map onto params at all,
+// without simulation: every virtual unit must partition under the PCU/PMU
+// parameters, and the resulting physical unit demand must fit the chip's
+// unit counts. A nil return means the benchmark passes the analytical
+// screen (placement and routing can still fail — this is the cheap reject,
+// not the full compile). Capacity shortfalls wrap compiler.ErrInsufficient,
+// so callers classify them exactly like a compile failure.
+func CheckFeasible(b *Bench, params arch.Params) error {
+	part, err := demand(b, params)
+	if err != nil {
+		return fmt.Errorf("dse: %s: %w", b.Name, err)
+	}
+	if got, have := part.TotalPCUs, params.NumPCUs(); got > have {
+		return fmt.Errorf("dse: %s: needs %d PCUs, chip has %d: %w", b.Name, got, have, compiler.ErrInsufficient)
+	}
+	if got, have := part.TotalPMUs, params.NumPMUs(); got > have {
+		return fmt.Errorf("dse: %s: needs %d PMUs, chip has %d: %w", b.Name, got, have, compiler.ErrInsufficient)
+	}
+	return nil
 }
 
 // minimizeArea is the uncached, sequential form of Sweep.minimizeArea.

@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"plasticine/internal/arch"
+	"plasticine/internal/compiler"
 )
 
 var benchCache []*Bench
@@ -250,5 +251,76 @@ func TestRatioStudy(t *testing.T) {
 	}
 	if s := FormatRatios(rows); !strings.Contains(s, "1:1") {
 		t.Error("ratio table missing 1:1 row")
+	}
+}
+
+// --- tuner-facing exports ---------------------------------------------------
+
+func TestLoadBenchByName(t *testing.T) {
+	b, err := LoadBench("InnerProduct")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Name != "InnerProduct" || len(b.PCUs) == 0 {
+		t.Fatalf("LoadBench = %+v", b)
+	}
+	if _, err := LoadBench("NoSuchBenchmark"); err == nil {
+		t.Fatal("unknown benchmark loaded")
+	}
+}
+
+// TestAnalyticalAreaMatchesSweepModel pins the export against the sweeps'
+// internal path — the rewire must not move any Figure 7 number.
+func TestAnalyticalAreaMatchesSweepModel(t *testing.T) {
+	def := arch.Default()
+	for _, b := range benches(t) {
+		got := AnalyticalArea(b, def.PCU, def.Chip)
+		want := benchPCUArea(b, def.PCU, def.Chip)
+		if got != want {
+			t.Fatalf("%s: AnalyticalArea %g != benchPCUArea %g", b.Name, got, want)
+		}
+		if math.IsInf(got, 1) {
+			t.Fatalf("%s is infeasible at the default design point", b.Name)
+		}
+	}
+	// A hopeless datapath is Infeasible, not a number.
+	tiny := def.PCU
+	tiny.Stages, tiny.Registers = 1, 1
+	infeasibleSeen := false
+	for _, b := range benches(t) {
+		if math.IsInf(AnalyticalArea(b, tiny, def.Chip), 1) {
+			infeasibleSeen = true
+		}
+	}
+	if !infeasibleSeen {
+		t.Fatal("no benchmark found a 1-stage/1-register PCU infeasible")
+	}
+}
+
+func TestCheckFeasible(t *testing.T) {
+	def := arch.Default()
+	for _, b := range benches(t) {
+		if err := CheckFeasible(b, def); err != nil {
+			t.Fatalf("%s infeasible at the default design point: %v", b.Name, err)
+		}
+	}
+	// A 2x2 chip cannot hold any real benchmark's unit demand; the error
+	// must identify the shortfall class for the tuner's accounting.
+	small := def
+	small.Chip.Rows, small.Chip.Cols = 2, 2
+	failed := false
+	for _, b := range benches(t) {
+		if err := CheckFeasible(b, small); err != nil {
+			failed = true
+			if !errors.Is(err, compiler.ErrInsufficient) {
+				t.Fatalf("%s: shortfall does not wrap ErrInsufficient: %v", b.Name, err)
+			}
+			if !strings.Contains(err.Error(), b.Name) {
+				t.Fatalf("error does not name the benchmark: %v", err)
+			}
+		}
+	}
+	if !failed {
+		t.Fatal("every benchmark fit a 2x2 chip")
 	}
 }

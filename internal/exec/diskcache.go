@@ -356,7 +356,11 @@ func InspectDiskCache(dir string) ([]DiskEntryInfo, error) {
 	return out, nil
 }
 
-// Stats snapshots the tier's counters. Nil-safe.
+// Stats snapshots the tier's counters. Nil-safe, and safe to call
+// concurrently with in-flight Put/Get/Flush: every counter is an
+// atomic.Int64, which the SIGINT summary path depends on — the deferred
+// shutdown in cmd/plasticine reads these while worker goroutines may still
+// be completing writes. TestDiskCacheStatsConcurrent pins this under -race.
 func (d *DiskCache) Stats() DiskStats {
 	if d == nil {
 		return DiskStats{}

@@ -551,3 +551,53 @@ func TestNilDiskCacheDisablesTier(t *testing.T) {
 		t.Fatalf("nil tier stats = %+v", s)
 	}
 }
+
+// TestDiskCacheStatsConcurrent pins the SIGINT-summary contract: Stats (and
+// Flush) may race with in-flight Put/Get — the deferred shutdown in
+// cmd/plasticine reads the counters while workers are still completing — and
+// must stay well-defined because every counter is atomic. Run under -race
+// in CI; a regression to plain int64 counters fails there.
+func TestDiskCacheStatsConcurrent(t *testing.T) {
+	d, err := OpenDiskCache(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var writers sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		writers.Add(1)
+		go func(g int) {
+			defer writers.Done()
+			for i := 0; i < 50; i++ {
+				k := NewKey("race", fmt.Sprint(g), fmt.Sprint(i))
+				if err := d.Put(k, []byte(`{"v":1}`)); err != nil {
+					t.Error(err)
+					return
+				}
+				d.Get(k)
+			}
+		}(g)
+	}
+	// The "SIGINT path": snapshot and flush continuously while the writers
+	// are mid-flight.
+	stop := make(chan struct{})
+	snapDone := make(chan struct{})
+	go func() {
+		defer close(snapDone)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				d.Stats()
+				d.Flush()
+			}
+		}
+	}()
+	writers.Wait()
+	close(stop)
+	<-snapDone
+	s := d.Stats()
+	if s.Writes != 200 || s.Hits != 200 {
+		t.Fatalf("counters after the dust settles: %+v (want 200 writes, 200 hits)", s)
+	}
+}

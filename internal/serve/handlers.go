@@ -51,6 +51,7 @@ func (s *Server) routes() *http.ServeMux {
 	mux.HandleFunc("/v1/profile", s.unary(classNormal, s.runProfile))
 	mux.HandleFunc("/v1/explain", s.unary(classCheap, s.runExplain))
 	mux.HandleFunc("/v1/sweep", s.handleSweep)
+	mux.HandleFunc("/v1/tune", s.handleTune)
 	if s.cfg.FaultInjection {
 		mux.HandleFunc("/debugz/panic", s.unary(classNormal, func(ctx context.Context, r *http.Request) (any, error) {
 			panic("fault injection: /debugz/panic")
@@ -408,8 +409,18 @@ type Stats struct {
 	Goroutines       int     `json:"goroutines"`
 	EstimatedWaitSec float64 `json:"estimated_wait_sec"`
 
+	// StreamsActive counts committed NDJSON streams currently open (sweeps
+	// and tunes); TuneActive counts admitted /v1/tune searches specifically.
+	// A drain that hangs shows up here first.
+	StreamsActive int `json:"streams_active"`
+	TuneActive    int `json:"tune_active"`
+
 	TenantQueues map[string]int            `json:"tenant_queues,omitempty"`
 	Tenants      map[string]TenantCounters `json:"tenants,omitempty"`
+
+	// Totals aggregates every tenant's admission ledger, so dashboards get
+	// fleet-wide shed/denied rates without summing the per-tenant map.
+	Totals TenantCounters `json:"totals"`
 
 	Cache      exec.CacheStats `json:"cache"`
 	JobRetries int64           `json:"job_retries"`
@@ -424,6 +435,15 @@ func (s *Server) snapshotStats() Stats {
 	case stateStopped:
 		state = "stopped"
 	}
+	tenants := s.adm.snapshot()
+	var totals TenantCounters
+	for _, c := range tenants {
+		totals.Admitted += c.Admitted
+		totals.Completed += c.Completed
+		totals.Failed += c.Failed
+		totals.Shed += c.Shed
+		totals.QuotaDenied += c.QuotaDenied
+	}
 	return Stats{
 		State:            state,
 		UptimeSec:        s.cfg.now().Sub(s.start).Seconds(),
@@ -436,8 +456,11 @@ func (s *Server) snapshotStats() Stats {
 		PoolRunning:      s.sess.Engine().Pool().Running(),
 		Goroutines:       runtime.NumGoroutine(),
 		EstimatedWaitSec: s.estimatedWait().Seconds(),
+		StreamsActive:    int(s.streams.Load()),
+		TuneActive:       int(s.tunes.Load()),
 		TenantQueues:     s.queue.Depths(),
-		Tenants:          s.adm.snapshot(),
+		Tenants:          tenants,
+		Totals:           totals,
 		Cache:            s.sess.CacheStats(),
 		JobRetries:       s.sess.Retries(),
 	}

@@ -146,6 +146,8 @@ type Server struct {
 
 	busy     atomic.Int64 // dispatcher slots currently executing
 	requests atomic.Int64 // total requests ever admitted to a handler
+	streams  atomic.Int64 // committed NDJSON streams currently open (sweep + tune)
+	tunes    atomic.Int64 // /v1/tune searches currently admitted
 
 	// serviceEWMA is an exponentially-weighted moving average of job service
 	// time in nanoseconds, feeding the Retry-After estimate.

@@ -519,6 +519,91 @@ func TestStatszShape(t *testing.T) {
 	if st.Requests < 1 || st.Tenants["anon"].Admitted < 1 {
 		t.Fatalf("request accounting: %+v", st)
 	}
+	if st.Totals.Admitted < st.Tenants["anon"].Admitted || st.Totals.Completed < 1 {
+		t.Fatalf("totals must aggregate the tenant ledgers: %+v", st)
+	}
+	if st.StreamsActive != 0 || st.TuneActive != 0 {
+		t.Fatalf("idle server reports active streams: %+v", st)
+	}
+	if !strings.Contains(string(body), `"streams_active"`) || !strings.Contains(string(body), `"tune_active"`) ||
+		!strings.Contains(string(body), `"totals"`) {
+		t.Fatalf("statsz document is missing the aggregate fields:\n%s", body)
+	}
+}
+
+// TestTuneStreamsGenerationsAndResult drives a tiny /v1/tune search end to
+// end: the stream must open with queued, emit at least one generation event,
+// carry the plasticine-tune/v1 document in its result event, and close with
+// done.
+func TestTuneStreamsGenerationsAndResult(t *testing.T) {
+	_, ts := newTestServer(t, nil)
+	resp, err := http.Get(ts.URL + "/v1/tune?mix=InnerProduct:1&budget=2&pop=4&seed=7&max_area=120&timeout=5m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("tune = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	var events []sweepEvent
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	for sc.Scan() {
+		var ev sweepEvent
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
+		}
+		events = append(events, ev)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	count := map[string]int{}
+	var resultData any
+	for _, ev := range events {
+		count[ev.Event]++
+		if ev.Event == "error" {
+			t.Fatalf("tune errored: %+v", ev)
+		}
+		if ev.Event == "result" {
+			resultData = ev.Data
+		}
+	}
+	if events[0].Event != "queued" || events[len(events)-1].Event != "done" {
+		t.Fatalf("stream must open with queued and close with done: %v", count)
+	}
+	if count["generation"] == 0 || count["result"] != 1 {
+		t.Fatalf("event counts: %v", count)
+	}
+	doc, ok := resultData.(map[string]any)
+	if !ok || doc["schema"] != "plasticine-tune/v1" {
+		t.Fatalf("result data is not a plasticine-tune/v1 document: %v", resultData)
+	}
+	if _, ok := doc["front"]; !ok {
+		t.Fatalf("tune document has no front: %v", doc)
+	}
+}
+
+// TestTuneBadParamsAre400 pins the pre-admission validation: malformed specs
+// are refused before the stream is committed.
+func TestTuneBadParamsAre400(t *testing.T) {
+	_, ts := newTestServer(t, nil)
+	for _, q := range []string{
+		"mix=InnerProduct:-1",
+		"budget=0",
+		"budget=99999",
+		"pop=0",
+		"max_area=-5",
+		"seed=notanumber",
+	} {
+		resp, _ := get(t, ts.URL+"/v1/tune?"+q)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("tune?%s = %d, want 400", q, resp.StatusCode)
+		}
+	}
 }
 
 // TestConcurrentMixedTrafficNever5xx hammers the server with more

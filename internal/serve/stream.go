@@ -85,11 +85,22 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err.Error(), 0)
 		return
 	}
+	s.streamRequest(w, r, kind, run, nil)
+}
+
+// streamRequest admits run as a heavy streamed request and relays its life
+// cycle as NDJSON events. updates (nil ok) feeds additional in-band events
+// produced by the running job — e.g. the tuner's per-generation lines — into
+// the stream; it must be closed by run before returning, and sends into it
+// must never block (the stream drains it at its own pace).
+func (s *Server) streamRequest(w http.ResponseWriter, r *http.Request, kind string, run func(context.Context) (any, error), updates <-chan sweepEvent) {
 	tenant := tenantOf(r)
 	if !s.enterRequest(w, tenant, 1) {
 		return
 	}
 	defer s.inflight.Done()
+	s.streams.Add(1)
+	defer s.streams.Add(-1)
 	if s.queue.Len() >= s.cfg.ShedWatermark {
 		s.adm.count(tenant, func(c *TenantCounters) { c.Shed++ })
 		writeError(w, http.StatusTooManyRequests,
@@ -158,12 +169,35 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		}
 		emit(sweepEvent{Event: "done", Kind: kind, ElapsedSec: s.cfg.now().Sub(t0).Seconds()})
 	}
+	// drainUpdates forwards whatever the job has already published without
+	// blocking. Once run returns it has closed updates, so the j.done path
+	// sees every event; a nil channel (plain sweeps) never fires.
+	drainUpdates := func() {
+		for updates != nil {
+			select {
+			case ev, ok := <-updates:
+				if !ok {
+					updates = nil
+					return
+				}
+				emit(ev)
+			default:
+				return
+			}
+		}
+	}
 	for {
 		select {
 		case <-started:
 			started = nil // fires once
 			sentStarted = true
 			emit(sweepEvent{Event: "started", Kind: kind})
+		case ev, ok := <-updates:
+			if !ok {
+				updates = nil // closed; stop selecting on it
+				continue
+			}
+			emit(ev)
 		case <-heartbeat.C:
 			cur := s.sess.CacheStats()
 			ev := sweepEvent{
@@ -176,6 +210,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 			}
 			emit(ev)
 		case <-j.done:
+			drainUpdates()
 			if !sentStarted && j.err == nil {
 				emit(sweepEvent{Event: "started", Kind: kind})
 			}

@@ -1,0 +1,100 @@
+package tune
+
+// FuzzTuneSnapshotDecode drives the PLTN snapshot decoder with arbitrary
+// bytes and asserts the resume robustness contract: decoding never panics,
+// anything it accepts re-encodes byte-identically (canonical form — a
+// resumed search can never flip-flop its snapshot file), and the full load
+// path over the same bytes either resumes the exact snapshot or quarantines
+// the file for inspection — never a silently wrong resume, never a crash.
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"plasticine/internal/arch"
+)
+
+func fuzzSeedSnapshot() *snapshot {
+	p := arch.Default()
+	return &snapshot{
+		SpecHash: 0x1234abcd5678ef90,
+		Seed:     42,
+		Gen:      2,
+		Rng:      0xdeadbeefcafef00d,
+		Sampled:  16, Pruned: 7, Duplicates: 1, InfeasibleSim: 1,
+		Records: []evalRecord{
+			{Key: paramKey(p), Params: p, AreaMM2: 44.25, PowerW: 25.5,
+				Cycles: map[string]int64{"InnerProduct": 167990}, WeightedCycles: 167990, Gen: 0},
+			{Key: "infeasible-one", Params: p, AreaMM2: 90, PowerW: 50,
+				Infeasible: true, Gen: 1},
+		},
+	}
+}
+
+func FuzzTuneSnapshotDecode(f *testing.F) {
+	f.Add([]byte{})
+	whole, err := encodeSnapshot(fuzzSeedSnapshot())
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(whole)
+	f.Add(whole[:len(whole)-5]) // truncated
+	flipped := append([]byte(nil), whole...)
+	flipped[20] ^= 0x40 // payload bit flip: checksum must catch it
+	f.Add(flipped)
+	empty, err := encodeSnapshot(&snapshot{})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(empty)
+	stale := append([]byte(nil), whole...)
+	stale[4]++ // future version, checksum not fixed up
+	f.Add(stale)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		snap, err := decodeSnapshot(data)
+		if err == nil {
+			re, eerr := encodeSnapshot(snap)
+			if eerr != nil || !bytes.Equal(re, data) {
+				t.Fatalf("decode accepted bytes that re-encode differently:\n in: %x\nout: %x (err %v)", data, re, eerr)
+			}
+		}
+
+		// Property check against the full load path: plant the bytes as a
+		// search's snapshot file and load it.
+		dir := t.TempDir()
+		path := filepath.Join(dir, "tune-fuzz"+snapshotExt)
+		if werr := os.WriteFile(path, data, 0o644); werr != nil {
+			t.Fatal(werr)
+		}
+		loaded, quarantined, _ := loadSnapshotFile(path, 0x1234abcd5678ef90)
+		switch {
+		case loaded != nil:
+			// A resume must come from a valid snapshot with the matching
+			// identity — anything else is a silently wrong resume.
+			if err != nil || snap.SpecHash != 0x1234abcd5678ef90 {
+				t.Fatalf("loadSnapshotFile resumed from defective or foreign bytes: %+v", loaded)
+			}
+		case quarantined:
+			// Quarantine must preserve the defective bytes for inspection
+			// and must only fire on bytes the decoder rejects.
+			if err == nil {
+				t.Fatal("valid snapshot was quarantined")
+			}
+			kept, rerr := os.ReadFile(path + ".quarantined")
+			if rerr != nil || !bytes.Equal(kept, data) {
+				t.Fatalf("quarantine did not preserve the bytes: %v", rerr)
+			}
+		default:
+			// Ignored: legal only for a valid snapshot of another search.
+			if err != nil {
+				t.Fatal("defective snapshot was neither loaded nor quarantined")
+			}
+			if snap.SpecHash == 0x1234abcd5678ef90 {
+				t.Fatal("matching snapshot was silently ignored")
+			}
+		}
+	})
+}

@@ -1,0 +1,194 @@
+package tune
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+
+	"plasticine/internal/arch"
+)
+
+// PLTN search-state snapshot, little-endian, following the PLDE/PLCK
+// envelope discipline (versioned magic header, length-validated payload,
+// trailing crc32 over everything before it):
+//
+//	u32 magic "PLTN" | u32 version | u32 payloadLen |
+//	canonical-JSON payload | u32 crc32
+//
+// The payload is the snapshot struct in Go's canonical JSON encoding, and
+// decode enforces canonicality (re-marshalling the parsed payload must
+// reproduce it byte for byte) — so every accepted snapshot re-encodes
+// byte-identically, the property FuzzTuneSnapshotDecode locks. Snapshots
+// are written to a temp file, fsynced, and renamed into place after every
+// completed generation; a defective file is quarantined (*.quarantined)
+// and the search restarts from the design-point cache instead.
+
+const (
+	snapshotMagic = 0x504C544E // "PLTN"
+
+	// SnapshotVersion is the PLTN format version. Any other version is
+	// rejected at decode (and therefore quarantined by the load path), so a
+	// format change costs a restarted search, never a crash or a silently
+	// wrong resume.
+	SnapshotVersion = 1
+
+	snapshotExt = ".pltn"
+
+	// snapshotMinLen is an envelope with an empty payload: magic + version
+	// + length + crc32.
+	snapshotMinLen = 4 + 4 + 4 + 4
+)
+
+// evalRecord is one simulated candidate, in evaluation order. The ordered
+// record list is the whole mutable search state: front, parent selection
+// and dedup set are all recomputed from it, so persisting it (plus the RNG)
+// resumes the search exactly.
+type evalRecord struct {
+	Key            string           `json:"key"`
+	Params         arch.Params      `json:"params"`
+	AreaMM2        float64          `json:"area_mm2"`
+	PowerW         float64          `json:"power_w"`
+	Infeasible     bool             `json:"infeasible,omitempty"`
+	Cycles         map[string]int64 `json:"cycles,omitempty"`
+	WeightedCycles float64          `json:"weighted_cycles,omitempty"`
+	Gen            int              `json:"gen"`
+}
+
+// snapshot is the PLTN payload.
+type snapshot struct {
+	// SpecHash fingerprints the search identity (Spec.hash); a snapshot
+	// from a different mix/constraints/population/seed is ignored, not
+	// resumed. Seed is kept alongside for inspectability.
+	SpecHash uint64 `json:"spec_hash"`
+	Seed     int64  `json:"seed"`
+
+	Gen int    `json:"gen"` // completed generations
+	Rng uint64 `json:"rng"` // RNG state after the last completed generation
+
+	Sampled       int64 `json:"sampled"`
+	Pruned        int64 `json:"pruned"`
+	Duplicates    int64 `json:"duplicates"`
+	InfeasibleSim int64 `json:"infeasible_sim"`
+
+	Records []evalRecord `json:"records"`
+}
+
+// encodeSnapshot serialises a snapshot to its on-disk PLTN form.
+func encodeSnapshot(s *snapshot) ([]byte, error) {
+	payload, err := json.Marshal(s)
+	if err != nil {
+		return nil, fmt.Errorf("tune: encode snapshot: %w", err)
+	}
+	b := make([]byte, 0, snapshotMinLen+len(payload))
+	b = binary.LittleEndian.AppendUint32(b, snapshotMagic)
+	b = binary.LittleEndian.AppendUint32(b, SnapshotVersion)
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(payload)))
+	b = append(b, payload...)
+	return binary.LittleEndian.AppendUint32(b, crc32.ChecksumIEEE(b)), nil
+}
+
+// decodeSnapshot parses a PLTN snapshot, validating checksum, magic,
+// version, payload length and payload canonicality before trusting any of
+// it. Corrupt or truncated input yields an error — never a panic or a
+// silently wrong resume.
+func decodeSnapshot(data []byte) (*snapshot, error) {
+	fail := func(format string, args ...any) (*snapshot, error) {
+		return nil, fmt.Errorf("tune: bad snapshot: "+format, args...)
+	}
+	if len(data) < snapshotMinLen {
+		return fail("%d bytes is shorter than any snapshot", len(data))
+	}
+	body, sum := data[:len(data)-4], binary.LittleEndian.Uint32(data[len(data)-4:])
+	if got := crc32.ChecksumIEEE(body); got != sum {
+		return fail("checksum mismatch (stored %08x, computed %08x)", sum, got)
+	}
+	if m := binary.LittleEndian.Uint32(body); m != snapshotMagic {
+		return fail("bad magic %08x", m)
+	}
+	if v := binary.LittleEndian.Uint32(body[4:]); v != SnapshotVersion {
+		return fail("version %d, this build reads %d", v, SnapshotVersion)
+	}
+	payload := body[12:]
+	if n := int(binary.LittleEndian.Uint32(body[8:])); n != len(payload) {
+		return fail("payload length %d does not match remaining %d bytes", n, len(payload))
+	}
+	var s snapshot
+	if err := json.Unmarshal(payload, &s); err != nil {
+		return fail("payload: %v", err)
+	}
+	// Canonicality: an accepted snapshot must re-encode byte-identically,
+	// so a rewrite after resume can never flip-flop the file contents.
+	canon, err := json.Marshal(&s)
+	if err != nil || !bytes.Equal(canon, payload) {
+		return fail("payload is not in canonical form")
+	}
+	return &s, nil
+}
+
+// snapshotPath names the search's snapshot inside the cache directory:
+// keyed by the search identity so unrelated searches coexist, and by shard
+// so cooperating shards each track their own progress.
+func snapshotPath(dir string, spec *Spec) string {
+	name := fmt.Sprintf("tune-%016x", spec.hash())
+	if spec.Shards > 1 {
+		name += fmt.Sprintf("-s%dof%d", spec.Shard, spec.Shards)
+	}
+	return filepath.Join(dir, name+snapshotExt)
+}
+
+// writeSnapshotFile stores a snapshot atomically: temp file in the same
+// directory, fsync, rename. A SIGKILL mid-write can only leave a stale temp
+// file; the previous snapshot stays intact.
+func writeSnapshotFile(path string, s *snapshot) error {
+	data, err := encodeSnapshot(s)
+	if err != nil {
+		return err
+	}
+	f, err := os.CreateTemp(filepath.Dir(path), ".tmp-*")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	_, werr := f.Write(data)
+	serr := f.Sync()
+	cerr := f.Close()
+	if err := errors.Join(werr, serr, cerr); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
+}
+
+// loadSnapshotFile reads and validates a snapshot. A missing file is a
+// fresh start (nil, nil). A defective file is quarantined — renamed
+// *.quarantined so it stays inspectable but is never read again — and also
+// reported as a fresh start; the quarantined return tells the caller to
+// log it. A valid snapshot from a different search identity is left in
+// place and ignored (it can only happen via a 64-bit hash collision in the
+// file name, or a caller constructing paths by hand).
+func loadSnapshotFile(path string, specHash uint64) (s *snapshot, quarantined bool, err error) {
+	data, rerr := os.ReadFile(path)
+	if rerr != nil {
+		return nil, false, nil
+	}
+	snap, derr := decodeSnapshot(data)
+	if derr != nil {
+		if os.Rename(path, path+".quarantined") != nil {
+			os.Remove(path)
+		}
+		return nil, true, derr
+	}
+	if snap.SpecHash != specHash {
+		return nil, false, nil
+	}
+	return snap, false, nil
+}

@@ -1,0 +1,453 @@
+package tune
+
+// Unit tests over the search with a fake evaluator: cycles are a pure
+// function of the candidate, so determinism, resume and sharding can be
+// pinned byte-for-byte without paying for compilation or simulation.
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"plasticine/internal/arch"
+	"plasticine/internal/exec"
+)
+
+// fakeCycles is a deterministic stand-in for simulation: any pure function
+// of the tuned genes works, as long as distinct designs usually score
+// differently (so fronts are non-trivial).
+func fakeCycles(p arch.Params, bench string) int64 {
+	c := int64(100000)
+	c -= int64(p.Chip.Rows*p.Chip.Cols) * 300
+	c -= int64(p.PCU.Stages) * 700
+	c -= int64(p.PMU.BankKB) * 50
+	c += int64(p.PCU.Registers) * 11
+	if bench != "" {
+		c += int64(len(bench))
+	}
+	if c < 1 {
+		c = 1
+	}
+	return c
+}
+
+// fakeEnv builds an Env over a fresh engine. calls counts raw (uncached)
+// evaluations.
+func fakeEnv(workers int, calls *atomic.Int64) Env {
+	return Env{
+		Engine: exec.NewEngine(workers),
+		Evaluate: func(ctx context.Context, p arch.Params, bench string) (EvalOutcome, error) {
+			if calls != nil {
+				calls.Add(1)
+			}
+			return EvalOutcome{Cycles: fakeCycles(p, bench)}, nil
+		},
+	}
+}
+
+func testSpec() Spec {
+	return Spec{
+		Mix:         []MixEntry{{Bench: "A", Weight: 2}, {Bench: "B", Weight: 1}},
+		Constraints: Constraints{MaxAreaMM2: 150},
+		Budget:      12,
+		Population:  8,
+		Seed:        42,
+	}
+}
+
+func searchJSON(t *testing.T, spec Spec, env Env) []byte {
+	t.Helper()
+	res, err := Search(context.Background(), spec, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := ResultJSON(spec, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// TestDeterminismAcrossWorkers is the headline contract: same spec, same
+// seed — byte-identical plasticine-tune/v1 document at any worker count.
+func TestDeterminismAcrossWorkers(t *testing.T) {
+	spec := testSpec()
+	one := searchJSON(t, spec, fakeEnv(1, nil))
+	eight := searchJSON(t, spec, fakeEnv(8, nil))
+	if !bytes.Equal(one, eight) {
+		t.Fatalf("front differs across worker counts:\n-- workers=1 --\n%s\n-- workers=8 --\n%s", one, eight)
+	}
+	if !bytes.Contains(one, []byte(`"plasticine-tune/v1"`)) {
+		t.Fatalf("document is missing its schema tag:\n%s", one)
+	}
+}
+
+// TestSeedChangesTrajectory guards against the RNG being ignored.
+func TestSeedChangesTrajectory(t *testing.T) {
+	a, b := testSpec(), testSpec()
+	b.Seed = 43
+	if bytes.Equal(searchJSON(t, a, fakeEnv(2, nil)), searchJSON(t, b, fakeEnv(2, nil))) {
+		t.Fatal("different seeds produced identical documents")
+	}
+}
+
+// diskEnv is fakeEnv plus a persistent tier rooted at dir.
+func diskEnv(t *testing.T, workers int, dir string, calls *atomic.Int64) Env {
+	t.Helper()
+	env := fakeEnv(workers, calls)
+	d, err := exec.OpenDiskCache(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env.Engine.AttachDisk(d)
+	t.Cleanup(func() { d.Flush() })
+	return env
+}
+
+// TestKillAndResume is the durability contract: a search killed after its
+// first generation, rerun against the same cache directory, resumes from the
+// PLTN snapshot and finishes byte-identical to an uninterrupted run — and a
+// third run over the complete state recomputes and rewrites nothing.
+func TestKillAndResume(t *testing.T) {
+	spec := testSpec()
+
+	// Uninterrupted reference run in its own directory.
+	want := searchJSON(t, spec, diskEnv(t, 4, t.TempDir(), nil))
+
+	dir := t.TempDir()
+	// Run 1: die (via context cancellation — as abrupt as SIGKILL from the
+	// search's point of view, since snapshots only land at generation
+	// boundaries) after the first completed generation.
+	ctx, cancel := context.WithCancel(context.Background())
+	env := diskEnv(t, 4, dir, nil)
+	env.OnGeneration = func(g Generation) {
+		if g.Gen >= 1 {
+			cancel()
+		}
+	}
+	if _, err := Search(ctx, spec, env); err == nil {
+		t.Fatal("canceled search reported success")
+	}
+
+	// Run 2: same directory, fresh engine — must resume and match.
+	var calls atomic.Int64
+	env2 := diskEnv(t, 4, dir, &calls)
+	res, err := Search(context.Background(), spec, env2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.ResumedGenerations < 1 || res.Stats.ResumedEvaluations < 1 {
+		t.Fatalf("run 2 did not resume: %+v", res.Stats)
+	}
+	got, err := ResultJSON(spec, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("resumed document differs from uninterrupted run:\n-- resumed --\n%s\n-- clean --\n%s", got, want)
+	}
+
+	// Run 3: everything is already evaluated and snapshotted. No raw
+	// evaluations, no new disk writes for completed generations.
+	calls.Store(0)
+	env3 := diskEnv(t, 4, dir, &calls)
+	res3, err := Search(context.Background(), spec, env3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got3, err := ResultJSON(spec, res3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got3, want) {
+		t.Fatalf("third run diverged:\n%s", got3)
+	}
+	if n := calls.Load(); n != 0 {
+		t.Fatalf("third run recomputed %d evaluations; the search state covers them all", n)
+	}
+	if s := env3.Engine.CacheStats(); s.DiskWrites != 0 {
+		t.Fatalf("third run rewrote %d cache entries for completed generations", s.DiskWrites)
+	}
+}
+
+// TestPruneAllNeverSimulates: with an impossible area ceiling every candidate
+// dies in the analytic screen, the budget is never spent, and the loop is
+// bounded by MaxGenerations.
+func TestPruneAllNeverSimulates(t *testing.T) {
+	var calls atomic.Int64
+	spec := testSpec()
+	spec.Constraints.MaxAreaMM2 = 0.001
+	spec.MaxGenerations = 3
+	res, err := Search(context.Background(), spec, fakeEnv(2, &calls))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := res.Stats
+	if calls.Load() != 0 || st.Evaluated != 0 {
+		t.Fatalf("impossible constraint still simulated: %+v", st)
+	}
+	if st.Generations != 3 || st.PrunedAnalytic+st.Duplicates != st.Sampled {
+		t.Fatalf("accounting: %+v", st)
+	}
+	if len(res.Front) != 0 {
+		t.Fatalf("empty search grew a front: %v", res.Front)
+	}
+}
+
+// TestInfeasibleConsumesBudgetButNotFront: simulation-detected infeasibility
+// (no-route, deadlock) must burn budget — the trajectory cannot depend on
+// outcomes — while never surfacing in the front.
+func TestInfeasibleConsumesBudgetButNotFront(t *testing.T) {
+	spec := testSpec()
+	env := fakeEnv(2, nil)
+	env.Evaluate = func(ctx context.Context, p arch.Params, bench string) (EvalOutcome, error) {
+		return EvalOutcome{Infeasible: true}, nil
+	}
+	res, err := Search(context.Background(), spec, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Evaluated < int64(spec.Budget) {
+		t.Fatalf("infeasible outcomes must consume budget: %+v", res.Stats)
+	}
+	if len(res.Front) != 0 {
+		t.Fatalf("infeasible points joined the front: %v", res.Front)
+	}
+	if res.Stats.InfeasibleSim != res.Stats.Evaluated {
+		t.Fatalf("infeasible accounting: %+v", res.Stats)
+	}
+}
+
+// TestSnapshotQuarantine: a corrupt PLTN file is quarantined (inspectable,
+// never reread) and the search restarts cleanly.
+func TestSnapshotQuarantine(t *testing.T) {
+	spec := testSpec()
+	dir := t.TempDir()
+	want := searchJSON(t, spec, diskEnv(t, 2, t.TempDir(), nil))
+
+	norm := spec
+	if err := norm.normalize(); err != nil {
+		t.Fatal(err)
+	}
+	path := snapshotPath(dir, &norm)
+	if err := os.WriteFile(path, []byte("PLTNgarbage-not-a-snapshot"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var quarantineLogged bool
+	env := diskEnv(t, 2, dir, nil)
+	env.Logf = func(format string, args ...any) {
+		if bytes.Contains([]byte(fmt.Sprintf(format, args...)), []byte("quarantined")) {
+			quarantineLogged = true
+		}
+	}
+	got := searchJSON(t, spec, env)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("search after quarantine diverged:\n%s", got)
+	}
+	if !quarantineLogged {
+		t.Fatal("quarantine was not logged")
+	}
+	if _, err := os.Stat(path + ".quarantined"); err != nil {
+		t.Fatalf("corrupt snapshot was not kept for inspection: %v", err)
+	}
+}
+
+// TestForeignSnapshotIgnored: a valid snapshot for a different search
+// identity must not be resumed (or quarantined).
+func TestForeignSnapshotIgnored(t *testing.T) {
+	spec := testSpec()
+	dir := t.TempDir()
+
+	other := testSpec()
+	other.Seed = 99
+	if err := other.normalize(); err != nil {
+		t.Fatal(err)
+	}
+	norm := spec
+	if err := norm.normalize(); err != nil {
+		t.Fatal(err)
+	}
+	// A snapshot with the *other* search's hash parked at *this* search's
+	// path (hand-constructed, as the doc comment warns).
+	if err := writeSnapshotFile(snapshotPath(dir, &norm), &snapshot{SpecHash: other.hash(), Seed: 99, Gen: 7}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Search(context.Background(), spec, diskEnv(t, 2, dir, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.ResumedGenerations != 0 {
+		t.Fatalf("resumed from a foreign snapshot: %+v", res.Stats)
+	}
+}
+
+// TestShardedMatchesUnsharded: two cooperating shards over one cache
+// directory produce the same document as the unsharded search.
+func TestShardedMatchesUnsharded(t *testing.T) {
+	spec := testSpec()
+	want := searchJSON(t, spec, diskEnv(t, 4, t.TempDir(), nil))
+
+	dir := t.TempDir()
+	specs := [2]Spec{spec, spec}
+	docs := [2][]byte{}
+	var wg sync.WaitGroup
+	errs := [2]error{}
+	for i := range specs {
+		specs[i].Shard, specs[i].Shards = i, 2
+		// Short patience: the test must not hinge on cross-shard timing —
+		// work stealing yields the same bytes either way.
+		specs[i].ShardWait = 200 * time.Millisecond
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			env := diskEnv(t, 4, dir, nil)
+			res, err := Search(context.Background(), specs[i], env)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			docs[i], errs[i] = ResultJSON(spec, res)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("shard %d: %v", i, err)
+		}
+	}
+	if !bytes.Equal(docs[0], want) || !bytes.Equal(docs[1], want) {
+		t.Fatalf("sharded fronts diverge from unsharded:\n-- shard 0 --\n%s\n-- shard 1 --\n%s\n-- unsharded --\n%s",
+			docs[0], docs[1], want)
+	}
+}
+
+// TestBudgetExtensionResumes: raising the budget on a finished search's
+// directory continues it instead of restarting — Budget is excluded from the
+// search identity.
+func TestBudgetExtensionResumes(t *testing.T) {
+	dir := t.TempDir()
+	spec := testSpec()
+	var calls atomic.Int64
+	if _, err := Search(context.Background(), spec, diskEnv(t, 2, dir, &calls)); err != nil {
+		t.Fatal(err)
+	}
+	small := calls.Load()
+
+	spec.Budget *= 2
+	calls.Store(0)
+	res, err := Search(context.Background(), spec, diskEnv(t, 2, dir, &calls))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.ResumedEvaluations == 0 {
+		t.Fatalf("extension restarted from scratch: %+v", res.Stats)
+	}
+	if res.Stats.Evaluated < int64(spec.Budget) && res.Stats.Generations < spec.MaxGenerations {
+		t.Fatalf("extension did not spend the new budget: %+v", res.Stats)
+	}
+	// Each candidate costs len(mix)=2 raw calls; the resumed prefix must
+	// cost none of them again.
+	newCandidates := res.Stats.Evaluated - res.Stats.ResumedEvaluations
+	if calls.Load() != 2*newCandidates {
+		t.Fatalf("extension recomputed the prefix: %d new calls for %d new candidates (first run: %d calls)",
+			calls.Load(), newCandidates, small)
+	}
+}
+
+// TestParseMix covers the CLI/HTTP mix grammar.
+func TestParseMix(t *testing.T) {
+	got, err := ParseMix("GEMM:2, FFT ,GEMM:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0].Weight != 2 || got[1].Bench != "FFT" || got[1].Weight != 1 {
+		t.Fatalf("ParseMix = %+v", got)
+	}
+	for _, bad := range []string{"", ",", "GEMM:x", "GEMM:-1", ":2"} {
+		if _, err := ParseMix(bad); err == nil {
+			t.Fatalf("ParseMix(%q) accepted", bad)
+		}
+	}
+}
+
+// TestSpecNormalizeMergesAndLeavesCallerAlone: the mix is merged and sorted
+// into a fresh slice; the caller's backing array must stay untouched.
+func TestSpecNormalizeMergesAndLeavesCallerAlone(t *testing.T) {
+	mine := []MixEntry{{Bench: "Z", Weight: 1}, {Bench: "A"}, {Bench: "Z", Weight: 2}}
+	s := Spec{Mix: mine}
+	if err := s.normalize(); err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Mix) != 2 || s.Mix[0].Bench != "A" || s.Mix[0].Weight != 1 || s.Mix[1].Weight != 3 {
+		t.Fatalf("normalized mix = %+v", s.Mix)
+	}
+	if mine[0].Bench != "Z" || mine[1].Bench != "A" {
+		t.Fatalf("normalize scribbled on the caller's slice: %+v", mine)
+	}
+	if s.Budget == 0 || s.Population == 0 || s.MaxGenerations == 0 || s.Shards != 1 {
+		t.Fatalf("defaults not filled: %+v", s)
+	}
+}
+
+// TestSpecHashIgnoresStopParams: budget, generation cap and sharding do not
+// change the search identity; everything else does.
+func TestSpecHashIgnoresStopParams(t *testing.T) {
+	base := testSpec()
+	if err := base.normalize(); err != nil {
+		t.Fatal(err)
+	}
+	same := base
+	same.Budget, same.MaxGenerations, same.Shard, same.Shards = 999, 999, 1, 4
+	if base.hash() != same.hash() {
+		t.Fatal("stop/execution params changed the identity hash")
+	}
+	for _, change := range []func(*Spec){
+		func(s *Spec) { s.Seed++ },
+		func(s *Spec) { s.Population++ },
+		func(s *Spec) { s.Constraints.MaxAreaMM2 = 7 },
+		func(s *Spec) { s.Mix = append([]MixEntry{}, MixEntry{Bench: "X", Weight: 1}) },
+	} {
+		c := base
+		change(&c)
+		if base.hash() == c.hash() {
+			t.Fatalf("identity field change did not move the hash")
+		}
+	}
+}
+
+// TestGenomeStaysOnGrid: ten thousand mutations of a default-derived design
+// must stay on the gene grids and validate.
+func TestGenomeStaysOnGrid(t *testing.T) {
+	r := rng{state: 7}
+	p := randomParams(&r)
+	for i := 0; i < 10000; i++ {
+		p = mutate(&r, p)
+		if err := p.Validate(); err != nil {
+			t.Fatalf("mutation %d left the valid grid: %v\n%+v", i, err, p)
+		}
+	}
+}
+
+// TestSnapshotFilePerShard: shards keep distinct snapshot files.
+func TestSnapshotFilePerShard(t *testing.T) {
+	s := testSpec()
+	if err := s.normalize(); err != nil {
+		t.Fatal(err)
+	}
+	a := snapshotPath("d", &s)
+	sh := s
+	sh.Shard, sh.Shards = 1, 2
+	b := snapshotPath("d", &sh)
+	if a == b {
+		t.Fatalf("shard snapshot path collides with unsharded: %s", a)
+	}
+	if filepath.Dir(a) != "d" || filepath.Ext(a) != snapshotExt {
+		t.Fatalf("snapshot path shape: %s", a)
+	}
+}
