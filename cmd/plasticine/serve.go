@@ -3,6 +3,9 @@ package main
 import (
 	"context"
 	"flag"
+	"fmt"
+	"io"
+	"os"
 	"time"
 
 	"plasticine/internal/serve"
@@ -25,9 +28,26 @@ func cmdServe(ctx context.Context, args []string) error {
 	drain := fs.Duration("drain", 15*time.Second, "how long a shutdown waits for in-flight requests before canceling them")
 	heartbeat := fs.Duration("heartbeat", time.Second, "NDJSON heartbeat interval for streaming sweeps")
 	faultInjection := fs.Bool("fault-injection", false, "enable /debugz/panic (soak testing only)")
+	debug := fs.Bool("debug", false, "expose net/http/pprof under /debugz/pprof/")
+	slowReq := fs.Duration("slow-request", 10*time.Second, "log traced requests slower than this (negative disables)")
+	accessLog := fs.String("access-log", "", "append one JSON line per traced request to this file ('-' = stderr)")
+	traceRing := fs.Int("trace-ring", 128, "recent traced requests kept for /debugz/requests")
 	suite := addSuiteFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	var accessW io.Writer
+	switch *accessLog {
+	case "":
+	case "-":
+		accessW = os.Stderr
+	default:
+		f, err := os.OpenFile(*accessLog, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+		if err != nil {
+			return fmt.Errorf("access log: %w", err)
+		}
+		defer f.Close()
+		accessW = f
 	}
 	t0 := time.Now()
 	sess, err := suite.session()
@@ -49,6 +69,10 @@ func cmdServe(ctx context.Context, args []string) error {
 		DrainBudget:     *drain,
 		Heartbeat:       *heartbeat,
 		FaultInjection:  *faultInjection,
+		Debug:           *debug,
+		SlowRequest:     *slowReq,
+		AccessLog:       accessW,
+		TraceRing:       *traceRing,
 	})
 	if err != nil {
 		return err

@@ -14,6 +14,7 @@ import (
 	"plasticine/internal/dhdl"
 	"plasticine/internal/fault"
 	"plasticine/internal/fpga"
+	"plasticine/internal/metrics"
 	"plasticine/internal/sim"
 	"plasticine/internal/stats"
 	"plasticine/internal/workloads"
@@ -117,19 +118,26 @@ func (s *System) RunBenchmarkOpts(b workloads.Benchmark, plan *fault.Plan, opts 
 // suite can abandon in-flight work when a sibling fails or the user
 // interrupts.
 func (s *System) RunBenchmarkCtx(ctx context.Context, b workloads.Benchmark, plan *fault.Plan, opts sim.Options) (*BenchResult, error) {
+	endCompile := metrics.StartPhase(ctx, "compile")
 	p, err := b.Build()
 	if err != nil {
 		return nil, fmt.Errorf("core: %s: %w", b.Name(), err)
 	}
 	m, err := compiler.CompileOpts(ctx, p, compiler.Options{Params: s.Params, Faults: plan})
+	endCompile()
 	if err != nil {
 		return nil, fmt.Errorf("core: %s: %w", b.Name(), err)
 	}
+	endSim := metrics.StartPhase(ctx, "sim")
 	res, st, err := sim.RunWithRecoveryCtx(ctx, m, opts)
+	endSim()
 	if err != nil {
 		return nil, fmt.Errorf("core: %s: %w", b.Name(), err)
 	}
-	if err := b.Check(st); err != nil {
+	endCheck := metrics.StartPhase(ctx, "check")
+	err = b.Check(st)
+	endCheck()
+	if err != nil {
 		return nil, fmt.Errorf("core: %s: functional check failed: %w", b.Name(), err)
 	}
 	prof := b.Profile()

@@ -27,6 +27,7 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"plasticine/internal/arch"
 	"plasticine/internal/compiler"
@@ -34,6 +35,7 @@ import (
 	"plasticine/internal/dse"
 	"plasticine/internal/exec"
 	"plasticine/internal/fault"
+	"plasticine/internal/metrics"
 	"plasticine/internal/sim"
 	"plasticine/internal/workloads"
 )
@@ -59,6 +61,11 @@ type Session struct {
 	// deferred cleanup may both call it.
 	closeOnce sync.Once
 	closeErr  error
+
+	// metricsReg is the instrumentation registry the serving layer
+	// installs via UseMetrics. Atomic because installation may race a
+	// request that is already reading it; nil means uninstrumented.
+	metricsReg atomic.Pointer[metrics.Registry]
 }
 
 // SessionOption configures a Session at construction.
@@ -224,7 +231,15 @@ func (s *Session) evaluate(ctx context.Context, b workloads.Benchmark, plan *fau
 	}
 	k := exec.NewKey("core/bench", b.Name(),
 		fmt.Sprintf("%+v", s.sys.Params), planKey(plan), optsKey(opts))
-	return exec.CachedJSON(s.engine.Cache(), k, func() (*BenchResult, error) {
+	// Phase attribution: when this call computes the point itself, the
+	// compile/sim spans recorded inside RunBenchmarkCtx tell the story and
+	// no "cache" span is emitted. When the result came from the cache — a
+	// hit, the disk tier, or a singleflight wait on another request's
+	// in-flight compute — the whole CachedJSON call is the "cache" phase.
+	computed := false
+	endCache := metrics.StartPhase(ctx, "cache")
+	r, err := exec.CachedJSON(s.engine.Cache(), k, func() (*BenchResult, error) {
+		computed = true
 		var r *BenchResult
 		err := s.engine.RunJob(ctx, b.Name(), func(ctx context.Context) error {
 			var rerr error
@@ -233,6 +248,10 @@ func (s *Session) evaluate(ctx context.Context, b workloads.Benchmark, plan *fau
 		})
 		return r, err
 	})
+	if !computed {
+		endCache()
+	}
+	return r, err
 }
 
 // RunBenchmark evaluates one Table 4 benchmark under the session's plan and
@@ -459,8 +478,18 @@ func (s *Session) sweep() (*dse.Sweep, error) {
 			return
 		}
 		s.dseSweep = dse.NewSweep(benches, s.sys.Params.Chip, s.engine)
+		s.dseSweep.SetMetrics(s.metricsReg.Load())
 	})
 	return s.dseSweep, s.dseLoadErr
+}
+
+// UseMetrics installs an instrumentation registry on the session: the
+// tuner and the DSE driver record generation timing and point counters
+// into it, and Engine() counters become scrapeable by whoever owns the
+// registry. Call before serving traffic — the lazily-built DSE driver
+// captures the registry at first use. A nil registry uninstalls.
+func (s *Session) UseMetrics(r *metrics.Registry) {
+	s.metricsReg.Store(r)
 }
 
 // Figure7 computes one Figure 7 panel (a-f) through the shared sweep.

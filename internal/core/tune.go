@@ -31,6 +31,7 @@ func (s *Session) Tune(ctx context.Context, spec tune.Spec, onGen func(tune.Gene
 		Evaluate:     s.tuneEvaluate,
 		OnGeneration: onGen,
 		Logf:         nil,
+		Metrics:      s.metricsReg.Load(),
 	})
 }
 

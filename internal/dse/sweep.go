@@ -9,6 +9,7 @@ import (
 
 	"plasticine/internal/arch"
 	"plasticine/internal/exec"
+	"plasticine/internal/metrics"
 )
 
 // Sweep is the design-space exploration driver: the benchmark set, the chip
@@ -26,12 +27,40 @@ type Sweep struct {
 	Benches []*Bench
 	Chip    arch.ChipParams
 	Engine  *exec.Engine
+
+	// Design-point counters installed by SetMetrics; nil collectors
+	// no-op, so an unmetered sweep pays nothing. Side-channel only:
+	// sweep results never depend on them.
+	mPoints     *metrics.Counter
+	mInfeasible *metrics.Counter
 }
 
 // NewSweep builds a sweep over benches on chip, evaluated by eng (nil means
 // sequential and uncached — the behaviour of the deprecated free functions).
 func NewSweep(benches []*Bench, chip arch.ChipParams, eng *exec.Engine) *Sweep {
 	return &Sweep{Benches: benches, Chip: chip, Engine: eng}
+}
+
+// SetMetrics installs design-point counters on the sweep: points counts
+// area evaluations actually computed (cache misses only — a resumed or
+// repeated sweep that reads the cache computes nothing), infeasible the
+// subset whose virtual units could not map. Call before sweeping; a nil
+// registry uninstalls.
+func (s *Sweep) SetMetrics(r *metrics.Registry) {
+	s.mPoints, s.mInfeasible = registerMetrics(r)
+}
+
+// RegisterMetrics pre-registers the sweep's metric families so a serving
+// process's first /metricsz scrape shows them at zero; SetMetrics is
+// idempotent against the same registry and attaches to the same
+// collectors.
+func RegisterMetrics(r *metrics.Registry) { registerMetrics(r) }
+
+func registerMetrics(r *metrics.Registry) (points, infeasible *metrics.Counter) {
+	return r.Counter("plasticine_dse_points_total",
+			"DSE design points computed (area evaluations that missed the cache)."),
+		r.Counter("plasticine_dse_infeasible_total",
+			"Computed DSE design points whose benchmark could not map.")
 }
 
 // areaPoint and minPoint are the persisted forms of design-point results.
@@ -55,8 +84,10 @@ type minPoint struct {
 func (s *Sweep) benchArea(b *Bench, p arch.PCUParams) float64 {
 	k := exec.NewKey("dse/pcu-area", b.Name, fmt.Sprintf("%+v", p), fmt.Sprintf("%+v", s.Chip))
 	v, _ := exec.CachedJSON(s.Engine.Cache(), k, func() (areaPoint, error) {
+		s.mPoints.Inc()
 		a := benchPCUArea(b, p, s.Chip)
 		if math.IsInf(a, 1) {
+			s.mInfeasible.Inc()
 			return areaPoint{Infeasible: true}, nil
 		}
 		return areaPoint{Area: a}, nil
@@ -89,11 +120,13 @@ func canonFixed(fixed map[string]int) string {
 func (s *Sweep) minimizeArea(b *Bench, fixed map[string]int) (arch.PCUParams, float64, error) {
 	k := exec.NewKey("dse/minimize", b.Name, canonFixed(fixed), fmt.Sprintf("%+v", s.Chip))
 	v, err := exec.CachedJSON(s.Engine.Cache(), k, func() (minPoint, error) {
+		s.mPoints.Inc()
 		p, area, err := s.minimizeAreaUncached(b, fixed)
 		if err != nil {
 			return minPoint{}, err
 		}
 		if math.IsInf(area, 1) {
+			s.mInfeasible.Inc()
 			return minPoint{Params: p, Infeasible: true}, nil
 		}
 		return minPoint{Params: p, Area: area}, nil

@@ -310,6 +310,12 @@ type Engine struct {
 	cache   *Cache
 	policy  JobPolicy
 	retries atomic.Int64
+
+	// Failed-job accounting by retry class, for the metrics exporter.
+	// Caller cancellations are excluded: a job abandoned because its
+	// request went away is not a job failure.
+	failTransient atomic.Int64
+	failPermanent atomic.Int64
 }
 
 // NewEngine returns an engine with the given worker count (<= 0 means
@@ -370,7 +376,25 @@ func (e *Engine) RunJob(ctx context.Context, label string, fn func(context.Conte
 			user(attempt, err)
 		}
 	}
-	return p.Run(ctx, label, fn)
+	err := p.Run(ctx, label, fn)
+	if err != nil && ctx.Err() == nil {
+		if Transient(err) {
+			e.failTransient.Add(1)
+		} else {
+			e.failPermanent.Add(1)
+		}
+	}
+	return err
+}
+
+// FailedJobs reports jobs that ended in error after the policy's retry
+// budget, split by Transient classification. Caller-canceled jobs are
+// counted in neither. Nil-safe.
+func (e *Engine) FailedJobs() (transient, permanent int64) {
+	if e == nil {
+		return 0, 0
+	}
+	return e.failTransient.Load(), e.failPermanent.Load()
 }
 
 // Retries reports how many job retries the policy has performed. Nil-safe.

@@ -1,0 +1,51 @@
+package exec
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+type transientTestErr struct{ error }
+
+func (transientTestErr) Transient() bool { return true }
+
+// TestEngineFailedJobClasses pins the failure taxonomy the metrics layer
+// exports: transient errors (retry budget exhausted) and permanent
+// errors count separately, successes and caller cancellations count in
+// neither.
+func TestEngineFailedJobClasses(t *testing.T) {
+	e := NewEngine(1)
+	e.SetPolicy(JobPolicy{Retries: 1, Backoff: time.Microsecond})
+
+	ctx := context.Background()
+	if err := e.RunJob(ctx, "ok", func(context.Context) error { return nil }); err != nil {
+		t.Fatalf("ok job: %v", err)
+	}
+	permErr := errors.New("bad program")
+	if err := e.RunJob(ctx, "perm", func(context.Context) error { return permErr }); err == nil {
+		t.Fatal("permanent job should fail")
+	}
+	transErr := transientTestErr{errors.New("flaky dram")}
+	if err := e.RunJob(ctx, "trans", func(context.Context) error { return transErr }); err == nil {
+		t.Fatal("transient job should fail after retries")
+	}
+
+	canceled, cancel := context.WithCancel(ctx)
+	cancel()
+	e.RunJob(canceled, "canceled", func(c context.Context) error { return c.Err() })
+
+	trans, perm := e.FailedJobs()
+	if trans != 1 || perm != 1 {
+		t.Errorf("FailedJobs = (%d, %d), want (1, 1)", trans, perm)
+	}
+	if e.Retries() == 0 {
+		t.Error("transient failure should have consumed retries")
+	}
+
+	var nilEngine *Engine
+	if a, b := nilEngine.FailedJobs(); a != 0 || b != 0 {
+		t.Error("nil engine FailedJobs not zero")
+	}
+}

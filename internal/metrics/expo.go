@@ -1,0 +1,180 @@
+package metrics
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"runtime/debug"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ContentType is the Prometheus text exposition format media type.
+const ContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+var (
+	labelEscaper = strings.NewReplacer(`\`, `\\`, "\n", `\n`, `"`, `\"`)
+	helpEscaper  = strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+)
+
+// WritePrometheus renders every family in text exposition format v0.0.4.
+// Output is deterministic: families sort by name, series by label
+// values. Counter and gauge values observed mid-write may be skewed
+// relative to each other; each individual value is atomically read.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	fams := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		fams = append(fams, f)
+	}
+	r.mu.Unlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+
+	var buf bytes.Buffer
+	for _, f := range fams {
+		f.write(&buf)
+	}
+	_, err := w.Write(buf.Bytes())
+	return err
+}
+
+func (f *family) write(buf *bytes.Buffer) {
+	if f.help != "" {
+		fmt.Fprintf(buf, "# HELP %s %s\n", f.name, helpEscaper.Replace(f.help))
+	}
+	fmt.Fprintf(buf, "# TYPE %s %s\n", f.name, f.kind)
+	for _, s := range f.snapshot() {
+		if f.kind == kindHistogram {
+			writeHistogram(buf, f, s)
+			continue
+		}
+		val := ""
+		f.mu.Lock()
+		fn := s.fn
+		f.mu.Unlock()
+		if fn != nil {
+			val = formatFloat(fn())
+		} else {
+			val = strconv.FormatInt(s.n.Load(), 10)
+		}
+		fmt.Fprintf(buf, "%s%s %s\n", f.name, labelString(f.labels, s.values, "", ""), val)
+	}
+}
+
+func writeHistogram(buf *bytes.Buffer, f *family, s *series) {
+	h := s.h
+	var cum int64
+	for i := 0; i <= numBuckets; i++ {
+		cum += h.counts[i].Load()
+		le := "+Inf"
+		if i < numBuckets {
+			le = formatFloat(bucketBounds[i])
+		}
+		fmt.Fprintf(buf, "%s_bucket%s %d\n",
+			f.name, labelString(f.labels, s.values, "le", le), cum)
+	}
+	fmt.Fprintf(buf, "%s_sum%s %s\n",
+		f.name, labelString(f.labels, s.values, "", ""), formatFloat(float64(h.sumNs.Load())/1e9))
+	fmt.Fprintf(buf, "%s_count%s %d\n",
+		f.name, labelString(f.labels, s.values, "", ""), h.count.Load())
+}
+
+// labelString renders {a="x",b="y"} with proper escaping, appending the
+// extra pair (used for histogram "le") when extraName is non-empty.
+// Returns "" when there are no labels at all.
+func labelString(names, values []string, extraName, extraVal string) string {
+	if len(names) == 0 && extraName == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(n)
+		b.WriteString(`="`)
+		b.WriteString(labelEscaper.Replace(values[i]))
+		b.WriteByte('"')
+	}
+	if extraName != "" {
+		if len(names) > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(extraName)
+		b.WriteString(`="`)
+		b.WriteString(extraVal)
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// Handler returns the /metricsz HTTP handler. Each successful scrape
+// increments the registry's scrape counter (visible in /statsz as
+// metrics_scrapes).
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if r == nil {
+			http.Error(w, "metrics disabled", http.StatusNotFound)
+			return
+		}
+		r.scrapes.Add(1)
+		w.Header().Set("Content-Type", ContentType)
+		var buf bytes.Buffer
+		r.WritePrometheus(&buf)
+		w.Write(buf.Bytes())
+	})
+}
+
+// BuildInfo identifies the running binary: module version, VCS revision,
+// and Go toolchain version.
+type BuildInfo struct {
+	Version   string `json:"version"`
+	Revision  string `json:"revision"`
+	GoVersion string `json:"go_version"`
+}
+
+// GetBuildInfo reads the binary's embedded build information. Fields
+// that the build did not stamp (e.g. a plain `go test` binary has no VCS
+// revision) come back as "unknown".
+func GetBuildInfo() BuildInfo {
+	bi := BuildInfo{Version: "unknown", Revision: "unknown", GoVersion: runtime.Version()}
+	info, ok := debug.ReadBuildInfo()
+	if !ok {
+		return bi
+	}
+	if info.Main.Version != "" {
+		bi.Version = info.Main.Version
+	}
+	for _, s := range info.Settings {
+		if s.Key == "vcs.revision" && s.Value != "" {
+			bi.Revision = s.Value
+		}
+	}
+	return bi
+}
+
+// RegisterBuildInfo registers `name` as a constant-1 gauge carrying the
+// binary's build identity as labels, the conventional Prometheus shape
+// for joining version metadata onto other series.
+func (r *Registry) RegisterBuildInfo(name string) {
+	if r == nil {
+		return
+	}
+	bi := GetBuildInfo()
+	r.LabeledGaugeFunc(name, "Build identity of the running binary (value is always 1).",
+		[]string{"goversion", "revision", "version"},
+		[]string{bi.GoVersion, bi.Revision, bi.Version},
+		func() float64 { return 1 })
+}

@@ -1,0 +1,127 @@
+package metrics
+
+import (
+	"context"
+	"sort"
+	"sync"
+	"time"
+)
+
+// maxSpansPerTrace bounds the spans one request can accumulate so a
+// pathological handler cannot grow a trace without limit.
+const maxSpansPerTrace = 64
+
+// Span is one timed phase of a request, offsets relative to the
+// request's start.
+type Span struct {
+	Name    string `json:"name"`
+	StartUS int64  `json:"start_us"`
+	DurUS   int64  `json:"dur_us"`
+}
+
+// ReqTrace collects per-phase spans for one request. It travels in the
+// request context (WithTrace / TraceFrom) so layers that must not import
+// the serving package — the compile/simulate core, the cache — can still
+// attribute their time to the owning request. All methods are nil-safe:
+// code instrumented with StartPhase runs unchanged (and allocation-free
+// in the trace path) when no trace is attached.
+type ReqTrace struct {
+	ID     string
+	Tenant string
+	Route  string
+
+	start time.Time
+	mu    sync.Mutex
+	spans []Span
+}
+
+// NewReqTrace starts a trace clocked from now.
+func NewReqTrace(id, tenant, route string, now time.Time) *ReqTrace {
+	return &ReqTrace{ID: id, Tenant: tenant, Route: route, start: now}
+}
+
+// Start reports the trace's epoch.
+func (t *ReqTrace) Start() time.Time {
+	if t == nil {
+		return time.Time{}
+	}
+	return t.start
+}
+
+// StartSpan begins a phase and returns the closure that ends it. The
+// closure is idempotent; a span that is never ended is simply not
+// recorded. Safe to call from any goroutine.
+func (t *ReqTrace) StartSpan(name string) func() {
+	if t == nil {
+		return func() {}
+	}
+	t0 := time.Now()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			end := time.Now()
+			t.mu.Lock()
+			if len(t.spans) < maxSpansPerTrace {
+				t.spans = append(t.spans, Span{
+					Name:    name,
+					StartUS: t0.Sub(t.start).Microseconds(),
+					DurUS:   end.Sub(t0).Microseconds(),
+				})
+			}
+			t.mu.Unlock()
+		})
+	}
+}
+
+// Spans returns a copy of the recorded spans ordered by start offset.
+func (t *ReqTrace) Spans() []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	out := append([]Span(nil), t.spans...)
+	t.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].StartUS < out[j].StartUS })
+	return out
+}
+
+// SpanSumUS returns the summed duration of all recorded spans in
+// microseconds. Phases are non-overlapping by construction (admission →
+// queue → cache|compile+sim → marshal), so the sum approximates the
+// request's instrumented wall time.
+func (t *ReqTrace) SpanSumUS() int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var sum int64
+	for _, s := range t.spans {
+		sum += s.DurUS
+	}
+	return sum
+}
+
+type traceCtxKey struct{}
+
+// WithTrace attaches t to ctx.
+func WithTrace(ctx context.Context, t *ReqTrace) context.Context {
+	if t == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, traceCtxKey{}, t)
+}
+
+// TraceFrom returns the trace attached to ctx, or nil.
+func TraceFrom(ctx context.Context) *ReqTrace {
+	t, _ := ctx.Value(traceCtxKey{}).(*ReqTrace)
+	return t
+}
+
+// StartPhase begins a span named name on the context's trace, returning
+// the closure that ends it. When no trace is attached both the call and
+// the returned closure are no-ops, so instrumented code pays one context
+// lookup and nothing else.
+func StartPhase(ctx context.Context, name string) func() {
+	return TraceFrom(ctx).StartSpan(name)
+}

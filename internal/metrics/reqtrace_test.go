@@ -1,0 +1,96 @@
+package metrics
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+)
+
+func TestReqTraceSpans(t *testing.T) {
+	tr := NewReqTrace("r1", "acme", "/v1/run", time.Now())
+	end := tr.StartSpan("compile")
+	time.Sleep(2 * time.Millisecond)
+	end()
+	end() // idempotent: must not double-record
+
+	spans := tr.Spans()
+	if len(spans) != 1 {
+		t.Fatalf("got %d spans, want 1", len(spans))
+	}
+	if spans[0].Name != "compile" {
+		t.Errorf("span name = %q", spans[0].Name)
+	}
+	if spans[0].DurUS < 1000 {
+		t.Errorf("span duration = %dµs, want ≥ 1000", spans[0].DurUS)
+	}
+	if got := tr.SpanSumUS(); got != spans[0].DurUS {
+		t.Errorf("SpanSumUS = %d, want %d", got, spans[0].DurUS)
+	}
+}
+
+func TestReqTraceUnendedSpanNotRecorded(t *testing.T) {
+	tr := NewReqTrace("r1", "", "/", time.Now())
+	_ = tr.StartSpan("queue") // never ended
+	if len(tr.Spans()) != 0 {
+		t.Error("unended span was recorded")
+	}
+}
+
+func TestReqTraceSpanCap(t *testing.T) {
+	tr := NewReqTrace("r1", "", "/", time.Now())
+	for i := 0; i < maxSpansPerTrace+10; i++ {
+		tr.StartSpan(fmt.Sprintf("s%d", i))()
+	}
+	if got := len(tr.Spans()); got != maxSpansPerTrace {
+		t.Errorf("got %d spans, want cap %d", got, maxSpansPerTrace)
+	}
+}
+
+func TestContextPlumbing(t *testing.T) {
+	ctx := context.Background()
+	if TraceFrom(ctx) != nil {
+		t.Fatal("empty context has a trace")
+	}
+	// StartPhase with no trace must be a usable no-op.
+	StartPhase(ctx, "sim")()
+
+	tr := NewReqTrace("r2", "t", "/v1/sweep", time.Now())
+	ctx = WithTrace(ctx, tr)
+	if TraceFrom(ctx) != tr {
+		t.Fatal("trace did not round-trip through context")
+	}
+	end := StartPhase(ctx, "sim")
+	end()
+	if len(tr.Spans()) != 1 || tr.Spans()[0].Name != "sim" {
+		t.Errorf("StartPhase did not record: %+v", tr.Spans())
+	}
+}
+
+func TestNilTraceSafe(t *testing.T) {
+	var tr *ReqTrace
+	tr.StartSpan("x")()
+	if tr.Spans() != nil || tr.SpanSumUS() != 0 {
+		t.Error("nil trace leaked data")
+	}
+	if !tr.Start().IsZero() {
+		t.Error("nil trace start not zero")
+	}
+	ctx := WithTrace(context.Background(), nil)
+	if TraceFrom(ctx) != nil {
+		t.Error("nil trace attached")
+	}
+}
+
+func TestSpansSortedByStart(t *testing.T) {
+	tr := NewReqTrace("r3", "", "/", time.Now())
+	endA := tr.StartSpan("a")
+	time.Sleep(time.Millisecond)
+	endB := tr.StartSpan("b")
+	endB() // ends first, so appends first
+	endA()
+	spans := tr.Spans()
+	if len(spans) != 2 || spans[0].Name != "a" || spans[1].Name != "b" {
+		t.Errorf("spans not sorted by start: %+v", spans)
+	}
+}

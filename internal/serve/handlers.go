@@ -7,6 +7,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"runtime"
 	"strconv"
 	"time"
@@ -14,6 +15,7 @@ import (
 	"plasticine/internal/compiler"
 	"plasticine/internal/core"
 	"plasticine/internal/exec"
+	"plasticine/internal/metrics"
 	"plasticine/internal/trace"
 	"plasticine/internal/workloads"
 )
@@ -46,6 +48,8 @@ func (s *Server) routes() *http.ServeMux {
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/readyz", s.handleReadyz)
 	mux.HandleFunc("/statsz", s.handleStatsz)
+	mux.Handle("/metricsz", s.met.reg.Handler())
+	mux.HandleFunc("/debugz/requests", s.handleDebugRequests)
 	mux.HandleFunc("/v1/compile", s.unary(classNormal, s.runCompile))
 	mux.HandleFunc("/v1/run", s.unary(classNormal, s.runBenchmark))
 	mux.HandleFunc("/v1/profile", s.unary(classNormal, s.runProfile))
@@ -56,6 +60,19 @@ func (s *Server) routes() *http.ServeMux {
 		mux.HandleFunc("/debugz/panic", s.unary(classNormal, func(ctx context.Context, r *http.Request) (any, error) {
 			panic("fault injection: /debugz/panic")
 		}))
+	}
+	if s.cfg.Debug {
+		// CPU/heap/goroutine profiling for a live server, gated behind
+		// -debug: the profile endpoints can stall a request for seconds
+		// and belong off in hardened deployments.
+		for _, p := range []string{"heap", "goroutine", "allocs", "block", "mutex", "threadcreate"} {
+			mux.Handle("/debugz/pprof/"+p, pprof.Handler(p))
+		}
+		mux.HandleFunc("/debugz/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debugz/pprof/trace", pprof.Trace)
+		mux.HandleFunc("/debugz/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debugz/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debugz/pprof/", pprof.Index)
 	}
 	return mux
 }
@@ -110,15 +127,25 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Write([]byte("\n"))
 }
 
+// setRetryAfter stamps the Retry-After header from a wait estimate,
+// rounded up to whole seconds with a 1s floor (never tell a client to
+// retry sooner than the estimate), and returns the stamped value. Every
+// Retry-After the server emits — quota denials, shed 429s, drain 503s,
+// and the draining /readyz — goes through here, so the header and the
+// JSON body cannot drift apart again.
+func setRetryAfter(w http.ResponseWriter, d time.Duration) int {
+	sec := int((d + time.Second - 1) / time.Second)
+	if sec < 1 {
+		sec = 1
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(sec))
+	return sec
+}
+
 func writeError(w http.ResponseWriter, status int, msg string, retryAfter time.Duration) {
 	body := errorBody{Error: msg}
 	if retryAfter > 0 {
-		sec := int(retryAfter.Round(time.Second) / time.Second)
-		if sec < 1 {
-			sec = 1
-		}
-		body.RetryAfter = sec
-		w.Header().Set("Retry-After", strconv.Itoa(sec))
+		body.RetryAfter = setRetryAfter(w, retryAfter)
 	}
 	writeJSON(w, status, body)
 }
@@ -146,13 +173,16 @@ func statusOf(err error) int {
 }
 
 // job is one queued request: the dispatcher runs run under ctx and delivers
-// through done.
+// through done. tenant and enq feed the queue-wait and service-time
+// histograms; zero values simply skip those observations.
 type job struct {
-	ctx  context.Context
-	run  func(context.Context) (any, error)
-	val  any
-	err  error
-	done chan struct{}
+	ctx    context.Context
+	run    func(context.Context) (any, error)
+	val    any
+	err    error
+	done   chan struct{}
+	tenant string
+	enq    time.Time
 }
 
 func (j *job) finish(v any, err error) {
@@ -175,6 +205,7 @@ func (s *Server) enterRequest(w http.ResponseWriter, tenant string, cost float64
 	if ok, retryAfter := s.adm.take(tenant, cost); !ok {
 		s.admitMu.RUnlock()
 		s.adm.count(tenant, func(c *TenantCounters) { c.QuotaDenied++ })
+		s.met.quotaDenied.With(tenant).Inc()
 		writeError(w, http.StatusTooManyRequests,
 			fmt.Sprintf("tenant %q is over its request quota", tenant), retryAfter)
 		return false
@@ -196,17 +227,21 @@ func (s *Server) admit(w http.ResponseWriter, r *http.Request, class reqClass, r
 	if class == classCheap {
 		cost = CheapCost
 	}
+	endAdmission := metrics.StartPhase(r.Context(), "admission")
 	if !s.enterRequest(w, tenant, cost) {
+		endAdmission()
 		return nil, nil, false
 	}
 	defer s.inflight.Done()
 
 	ctx, cancel, err := s.requestContext(r)
 	if err != nil {
+		endAdmission()
 		writeError(w, http.StatusBadRequest, err.Error(), 0)
 		return nil, nil, false
 	}
 	defer cancel()
+	endAdmission()
 
 	record := func(err error) {
 		s.adm.count(tenant, func(c *TenantCounters) {
@@ -225,17 +260,24 @@ func (s *Server) admit(w http.ResponseWriter, r *http.Request, class reqClass, r
 	}
 
 	if class == classHeavy && s.queue.Len() >= s.cfg.ShedWatermark {
-		s.adm.count(tenant, func(c *TenantCounters) { c.Shed++ })
+		s.shedRequest(tenant)
 		writeError(w, http.StatusTooManyRequests,
 			"queue past its shed watermark; retry later", s.estimatedWait())
 		return nil, nil, false
 	}
-	j := &job{ctx: ctx, run: run, done: make(chan struct{})}
+	// The queue phase runs from Push to the dispatcher picking the job
+	// up; the wrapper closes it on the dispatcher goroutine.
+	endQueue := metrics.StartPhase(ctx, "queue")
+	j := &job{ctx: ctx, tenant: tenant, enq: s.cfg.now(), done: make(chan struct{})}
+	j.run = func(ctx context.Context) (any, error) {
+		endQueue()
+		return run(ctx)
+	}
 	weight := s.cfg.TenantWeights[tenant]
 	if err := s.queue.Push(tenant, weight, j); err != nil {
 		switch {
 		case errors.Is(err, exec.ErrQueueFull):
-			s.adm.count(tenant, func(c *TenantCounters) { c.Shed++ })
+			s.shedRequest(tenant)
 			writeError(w, http.StatusTooManyRequests, "queue full; retry later", s.estimatedWait())
 		default: // closed: drain won the race
 			writeError(w, http.StatusServiceUnavailable, "server is draining", time.Second)
@@ -277,6 +319,7 @@ func (s *Server) unary(class reqClass, body func(context.Context, *http.Request)
 			var pe *exec.PanicError
 			if errors.As(err, &pe) {
 				// The stack goes to the log, not the client.
+				s.met.panics.Inc()
 				s.cfg.Logf("request panic (isolated): %v", pe.Value)
 				writeError(w, http.StatusInternalServerError, "internal: request evaluation panicked", 0)
 				return
@@ -284,7 +327,9 @@ func (s *Server) unary(class reqClass, body func(context.Context, *http.Request)
 			writeError(w, statusOf(err), err.Error(), 0)
 			return
 		}
+		endMarshal := metrics.StartPhase(r.Context(), "marshal")
 		writeJSON(w, http.StatusOK, v)
+		endMarshal()
 	}
 }
 
@@ -384,7 +429,9 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	if s.draining() {
-		w.Header().Set("Retry-After", "1")
+		// A draining server never becomes ready again; 1s just tells the
+		// load balancer to probe somewhere else soon.
+		setRetryAfter(w, time.Second)
 		w.WriteHeader(http.StatusServiceUnavailable)
 		fmt.Fprintln(w, "draining")
 		return
@@ -424,6 +471,12 @@ type Stats struct {
 
 	Cache      exec.CacheStats `json:"cache"`
 	JobRetries int64           `json:"job_retries"`
+
+	// Build identifies the binary (module version, VCS revision, Go
+	// toolchain) and MetricsScrapes counts /metricsz expositions served,
+	// so dashboards can correlate this snapshot with scrape data.
+	Build          metrics.BuildInfo `json:"build"`
+	MetricsScrapes int64             `json:"metrics_scrapes"`
 }
 
 // snapshotStats assembles the /statsz document.
@@ -463,6 +516,8 @@ func (s *Server) snapshotStats() Stats {
 		Totals:           totals,
 		Cache:            s.sess.CacheStats(),
 		JobRetries:       s.sess.Retries(),
+		Build:            metrics.GetBuildInfo(),
+		MetricsScrapes:   s.met.reg.Scrapes(),
 	}
 }
 

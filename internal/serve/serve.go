@@ -35,6 +35,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"os"
@@ -45,6 +46,7 @@ import (
 
 	"plasticine/internal/core"
 	"plasticine/internal/exec"
+	"plasticine/internal/metrics"
 )
 
 // Config parameterises a Server. The zero value of every field except
@@ -96,6 +98,28 @@ type Config struct {
 	// purpose. It exists so the soak test can prove panic isolation against
 	// a live server; leave it off in real deployments.
 	FaultInjection bool
+
+	// Metrics is the instrumentation registry /metricsz exposes (default: a
+	// fresh registry). The server installs it on the session too, so tuner
+	// and DSE counters land in the same exposition.
+	Metrics *metrics.Registry
+
+	// Debug mounts net/http/pprof under /debugz/pprof/ (the CLI's -debug
+	// flag). The trace ring at /debugz/requests is always on — it holds
+	// nothing sensitive and is how operators debug slow requests.
+	Debug bool
+
+	// SlowRequest is the wall-time threshold at and past which a completed
+	// /v1 request is logged through Logf and counted (default 10s;
+	// negative disables).
+	SlowRequest time.Duration
+
+	// AccessLog, when set, receives one compact JSON line per completed
+	// /v1 request (the requestRecord shape served at /debugz/requests).
+	AccessLog io.Writer
+
+	// TraceRing bounds the /debugz/requests ring (default 128 entries).
+	TraceRing int
 
 	// Logf receives operational log lines (default: stderr).
 	Logf func(format string, args ...any)
@@ -149,6 +173,13 @@ type Server struct {
 	streams  atomic.Int64 // committed NDJSON streams currently open (sweep + tune)
 	tunes    atomic.Int64 // /v1/tune searches currently admitted
 
+	// Observability (observe.go): the collector bundle, the trace ring,
+	// the request-ID sequence, and the access-log write lock.
+	met      *serverMetrics
+	ring     *traceRing
+	reqSeq   atomic.Int64
+	accessMu sync.Mutex
+
 	// serviceEWMA is an exponentially-weighted moving average of job service
 	// time in nanoseconds, feeding the Retry-After estimate.
 	serviceEWMA atomic.Int64
@@ -190,6 +221,15 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Heartbeat <= 0 {
 		cfg.Heartbeat = time.Second
 	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = metrics.NewRegistry()
+	}
+	if cfg.SlowRequest == 0 {
+		cfg.SlowRequest = 10 * time.Second
+	}
+	if cfg.TraceRing <= 0 {
+		cfg.TraceRing = 128
+	}
 	if cfg.Logf == nil {
 		cfg.Logf = func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, "serve: "+format+"\n", args...)
@@ -207,6 +247,11 @@ func New(cfg Config) (*Server, error) {
 	}
 	s.hardCtx, s.hardCancel = context.WithCancel(context.Background())
 	s.dispatchCtx, s.dispatchCancel = context.WithCancel(context.Background())
+	s.ring = newTraceRing(cfg.TraceRing)
+	s.met = s.registerMetrics(cfg.Metrics)
+	// One registry serves the whole process: the session forwards it to
+	// the tuner and the DSE driver, so their series land in /metricsz too.
+	cfg.Session.UseMetrics(cfg.Metrics)
 	s.mux = s.routes()
 	for i := 0; i < cfg.Concurrency; i++ {
 		s.dispatchers.Add(1)
@@ -215,9 +260,11 @@ func New(cfg Config) (*Server, error) {
 	return s, nil
 }
 
-// ServeHTTP implements http.Handler.
+// ServeHTTP implements http.Handler: the instrumentation middleware
+// (request-ID, phase trace, route/status metrics, access log) around the
+// endpoint mux.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	s.mux.ServeHTTP(w, r)
+	s.instrument(w, r)
 }
 
 // dispatch is one dispatcher slot: it pulls jobs off the fair queue and
@@ -230,6 +277,9 @@ func (s *Server) dispatch() {
 			return
 		}
 		j := item.(*job)
+		if j.tenant != "" && !j.enq.IsZero() {
+			s.met.queueWait.With(j.tenant).Observe(s.cfg.now().Sub(j.enq).Seconds())
+		}
 		if j.ctx.Err() != nil {
 			// The requester's deadline expired (or the client left) while the
 			// job sat queued: don't burn a slot on an answer nobody wants.
@@ -239,7 +289,11 @@ func (s *Server) dispatch() {
 		s.busy.Add(1)
 		t0 := s.cfg.now()
 		v, err := runIsolated(j.ctx, j.run)
-		s.observeService(s.cfg.now().Sub(t0))
+		d := s.cfg.now().Sub(t0)
+		s.observeService(d)
+		if j.tenant != "" {
+			s.met.serviceTime.With(j.tenant).Observe(d.Seconds())
+		}
 		s.busy.Add(-1)
 		j.finish(v, err)
 	}

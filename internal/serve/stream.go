@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"plasticine/internal/exec"
+	"plasticine/internal/metrics"
 )
 
 // Sweeps are long: minutes of design-point evaluation behind one request.
@@ -95,14 +96,17 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 // must never block (the stream drains it at its own pace).
 func (s *Server) streamRequest(w http.ResponseWriter, r *http.Request, kind string, run func(context.Context) (any, error), updates <-chan sweepEvent) {
 	tenant := tenantOf(r)
+	endAdmission := metrics.StartPhase(r.Context(), "admission")
 	if !s.enterRequest(w, tenant, 1) {
+		endAdmission()
 		return
 	}
 	defer s.inflight.Done()
 	s.streams.Add(1)
 	defer s.streams.Add(-1)
 	if s.queue.Len() >= s.cfg.ShedWatermark {
-		s.adm.count(tenant, func(c *TenantCounters) { c.Shed++ })
+		endAdmission()
+		s.shedRequest(tenant)
 		writeError(w, http.StatusTooManyRequests,
 			"queue past its shed watermark; retry later", s.estimatedWait())
 		return
@@ -110,20 +114,24 @@ func (s *Server) streamRequest(w http.ResponseWriter, r *http.Request, kind stri
 
 	ctx, cancel, err := s.requestContext(r)
 	if err != nil {
+		endAdmission()
 		writeError(w, http.StatusBadRequest, err.Error(), 0)
 		return
 	}
 	defer cancel()
+	endAdmission()
 
 	started := make(chan struct{})
-	j := &job{ctx: ctx, done: make(chan struct{})}
+	endQueue := metrics.StartPhase(ctx, "queue")
+	j := &job{ctx: ctx, tenant: tenant, enq: s.cfg.now(), done: make(chan struct{})}
 	j.run = func(ctx context.Context) (any, error) {
+		endQueue()
 		close(started)
 		return run(ctx)
 	}
 	if err := s.queue.Push(tenant, s.cfg.TenantWeights[tenant], j); err != nil {
 		if errors.Is(err, exec.ErrQueueFull) {
-			s.adm.count(tenant, func(c *TenantCounters) { c.Shed++ })
+			s.shedRequest(tenant)
 			writeError(w, http.StatusTooManyRequests, "queue full; retry later", s.estimatedWait())
 		} else {
 			writeError(w, http.StatusServiceUnavailable, "server is draining", time.Second)
@@ -162,6 +170,7 @@ func (s *Server) streamRequest(w http.ResponseWriter, r *http.Request, kind stri
 			var pe *exec.PanicError
 			msg := err.Error()
 			if errors.As(err, &pe) {
+				s.met.panics.Inc()
 				s.cfg.Logf("sweep panic (isolated): %v", pe.Value)
 				msg = "internal: sweep evaluation panicked"
 			}

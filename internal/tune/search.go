@@ -11,6 +11,7 @@ import (
 	"plasticine/internal/arch"
 	"plasticine/internal/dse"
 	"plasticine/internal/exec"
+	"plasticine/internal/metrics"
 )
 
 // search is the in-flight state of one Search call. All mutation happens on
@@ -35,6 +36,36 @@ type search struct {
 	resumedGen   int
 	resumedEvals int64
 }
+
+// searchMetrics bundles the tuner's side-channel collectors. With a nil
+// registry every collector is nil and every record is a no-op.
+type searchMetrics struct {
+	genSeconds                                   *metrics.Histogram
+	sampled, pruned, dups, evaluated, infeasible *metrics.Counter
+}
+
+func newSearchMetrics(r *metrics.Registry) searchMetrics {
+	return searchMetrics{
+		genSeconds: r.Histogram("plasticine_tune_generation_seconds",
+			"Wall time per tuner generation (sample, prune, simulate, select)."),
+		sampled: r.Counter("plasticine_tune_sampled_total",
+			"Candidates drawn across all generations."),
+		pruned: r.Counter("plasticine_tune_pruned_analytic_total",
+			"Candidates rejected by the analytic screen before simulation."),
+		dups: r.Counter("plasticine_tune_duplicates_total",
+			"Sampled candidates already evaluated (deduplicated)."),
+		evaluated: r.Counter("plasticine_tune_evaluated_total",
+			"Candidates that reached simulation."),
+		infeasible: r.Counter("plasticine_tune_infeasible_sim_total",
+			"Simulated candidates the fabric could not run (infeasible points)."),
+	}
+}
+
+// RegisterSearchMetrics pre-registers the tuner's metric families so a
+// serving process's first /metricsz scrape shows them at zero instead of
+// having them appear after the first search; Search's own registration
+// is idempotent and attaches to the same collectors.
+func RegisterSearchMetrics(r *metrics.Registry) { newSearchMetrics(r) }
 
 // Search runs one budgeted Pareto-front search. Deterministic for a fixed
 // spec at any engine worker count; resumable byte-identically from the PLTN
@@ -68,13 +99,28 @@ func Search(ctx context.Context, spec Spec, env Env) (*Result, error) {
 		s.loadSnapshot()
 	}
 
+	// Side-channel instrumentation only: a nil registry hands out nil
+	// collectors whose methods no-op, and nothing below feeds back into
+	// the search, so the front stays byte-identical either way.
+	sm := newSearchMetrics(env.Metrics)
+
 	for len(s.records) < s.spec.Budget && s.gen < s.spec.MaxGenerations {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
+		before := struct{ sampled, pruned, dups, infeasible, evaluated int64 }{
+			s.sampled, s.pruned, s.dups, s.infeasibleSim, int64(len(s.records)),
+		}
+		genStart := time.Now()
 		if err := s.generation(ctx); err != nil {
 			return nil, err
 		}
+		sm.genSeconds.ObserveSince(genStart)
+		sm.sampled.Add(s.sampled - before.sampled)
+		sm.pruned.Add(s.pruned - before.pruned)
+		sm.dups.Add(s.dups - before.dups)
+		sm.evaluated.Add(int64(len(s.records)) - before.evaluated)
+		sm.infeasible.Add(s.infeasibleSim - before.infeasible)
 		if err := s.writeSnapshot(); err != nil {
 			// A failed snapshot write costs resumability, not correctness;
 			// the design-point cache still holds every completed evaluation.

@@ -43,6 +43,7 @@ import (
 	"plasticine/internal/arch"
 	"plasticine/internal/dse"
 	"plasticine/internal/exec"
+	"plasticine/internal/metrics"
 	"plasticine/internal/stats"
 )
 
@@ -283,6 +284,11 @@ type Env struct {
 	// Logf receives diagnostics (snapshot quarantines, resume notes);
 	// nil discards them. Never used for results.
 	Logf func(format string, args ...any)
+
+	// Metrics, when set, receives side-channel instrumentation:
+	// generation wall time and prune-stage counters. Never feeds back
+	// into the search — results stay byte-identical with or without it.
+	Metrics *metrics.Registry
 }
 
 func (e *Env) logf(format string, args ...any) {

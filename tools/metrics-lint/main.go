@@ -1,0 +1,352 @@
+// metrics-lint validates a Prometheus text-format (v0.0.4) exposition read
+// from a file or stdin. It is the CI gate behind /metricsz: a malformed
+// line, a duplicate series, or an internally inconsistent histogram fails
+// the build before a real scraper ever sees it.
+//
+// Checks:
+//   - every sample line parses: name{labels} value, with a float value
+//   - metric and label names match Prometheus grammar
+//   - HELP/TYPE lines are well-formed and TYPE precedes the samples it types
+//   - no series (name + sorted label set) appears twice
+//   - histograms are consistent: _bucket counts are cumulative and
+//     non-decreasing in le order, the +Inf bucket exists and equals _count
+//   - with -require a,b,c: each named family must be present
+//
+// Exit status 1 on any defect, with one line per problem on stderr.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+var (
+	metricNameRe = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	labelNameRe  = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+)
+
+type sample struct {
+	name   string
+	labels map[string]string
+	value  float64
+	line   int
+}
+
+type linter struct {
+	problems []string
+	types    map[string]string // family -> counter|gauge|histogram|...
+	seen     map[string]int    // series key -> first line
+	samples  []sample
+	families map[string]bool
+}
+
+func (l *linter) errf(line int, format string, args ...any) {
+	l.problems = append(l.problems, fmt.Sprintf("line %d: %s", line, fmt.Sprintf(format, args...)))
+}
+
+// baseFamily strips histogram/summary suffixes so _bucket/_sum/_count
+// samples attach to the TYPE line of their family.
+func baseFamily(name string, types map[string]string) string {
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		base := strings.TrimSuffix(name, suf)
+		if base != name {
+			if t, ok := types[base]; ok && (t == "histogram" || t == "summary") {
+				return base
+			}
+		}
+	}
+	return name
+}
+
+// parseSample parses `name{l1="v1",...} value` or `name value`. Label
+// values may contain escaped quotes, backslashes and newlines.
+func parseSample(s string) (sample, error) {
+	sm := sample{labels: map[string]string{}}
+	i := strings.IndexAny(s, "{ ")
+	if i < 0 {
+		return sm, fmt.Errorf("no value separator")
+	}
+	sm.name = s[:i]
+	if !metricNameRe.MatchString(sm.name) {
+		return sm, fmt.Errorf("bad metric name %q", sm.name)
+	}
+	rest := s[i:]
+	if rest[0] == '{' {
+		rest = rest[1:]
+		for {
+			rest = strings.TrimLeft(rest, " ,")
+			if rest == "" {
+				return sm, fmt.Errorf("unterminated label set")
+			}
+			if rest[0] == '}' {
+				rest = rest[1:]
+				break
+			}
+			eq := strings.IndexByte(rest, '=')
+			if eq < 0 {
+				return sm, fmt.Errorf("label without '='")
+			}
+			lname := rest[:eq]
+			if !labelNameRe.MatchString(lname) {
+				return sm, fmt.Errorf("bad label name %q", lname)
+			}
+			rest = rest[eq+1:]
+			if rest == "" || rest[0] != '"' {
+				return sm, fmt.Errorf("unquoted value for label %q", lname)
+			}
+			rest = rest[1:]
+			var val strings.Builder
+			for {
+				if rest == "" {
+					return sm, fmt.Errorf("unterminated value for label %q", lname)
+				}
+				c := rest[0]
+				rest = rest[1:]
+				if c == '"' {
+					break
+				}
+				if c == '\\' {
+					if rest == "" {
+						return sm, fmt.Errorf("dangling escape in label %q", lname)
+					}
+					e := rest[0]
+					rest = rest[1:]
+					switch e {
+					case '\\', '"':
+						val.WriteByte(e)
+					case 'n':
+						val.WriteByte('\n')
+					default:
+						return sm, fmt.Errorf("bad escape \\%c in label %q", e, lname)
+					}
+					continue
+				}
+				val.WriteByte(c)
+			}
+			if _, dup := sm.labels[lname]; dup {
+				return sm, fmt.Errorf("label %q repeated", lname)
+			}
+			sm.labels[lname] = val.String()
+		}
+	}
+	rest = strings.TrimSpace(rest)
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 { // optional trailing timestamp
+		return sm, fmt.Errorf("want 'value [timestamp]', got %q", rest)
+	}
+	v, err := strconv.ParseFloat(fields[0], 64)
+	if err != nil {
+		return sm, fmt.Errorf("bad value %q", fields[0])
+	}
+	sm.value = v
+	return sm, nil
+}
+
+func seriesKey(sm sample) string {
+	keys := make([]string, 0, len(sm.labels))
+	for k := range sm.labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteString(sm.name)
+	for _, k := range keys {
+		fmt.Fprintf(&b, "\xff%s\xfe%s", k, sm.labels[k])
+	}
+	return b.String()
+}
+
+func (l *linter) lint(lines []string) {
+	for n, raw := range lines {
+		line := n + 1
+		if strings.TrimSpace(raw) == "" {
+			continue
+		}
+		if strings.HasPrefix(raw, "#") {
+			fields := strings.SplitN(raw, " ", 4)
+			if len(fields) < 3 || (fields[1] != "HELP" && fields[1] != "TYPE") {
+				// Prometheus ignores other comments; so do we.
+				continue
+			}
+			name := fields[2]
+			if !metricNameRe.MatchString(name) {
+				l.errf(line, "%s for bad metric name %q", fields[1], name)
+				continue
+			}
+			if fields[1] == "TYPE" {
+				if len(fields) != 4 {
+					l.errf(line, "TYPE without a type")
+					continue
+				}
+				switch fields[3] {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					l.errf(line, "unknown TYPE %q", fields[3])
+					continue
+				}
+				if _, dup := l.types[name]; dup {
+					l.errf(line, "duplicate TYPE for %s", name)
+				}
+				l.types[name] = fields[3]
+				l.families[name] = true
+			}
+			continue
+		}
+		sm, err := parseSample(raw)
+		if err != nil {
+			l.errf(line, "malformed sample: %v (%q)", err, raw)
+			continue
+		}
+		sm.line = line
+		fam := baseFamily(sm.name, l.types)
+		if _, ok := l.types[fam]; !ok {
+			l.errf(line, "sample %s has no preceding TYPE line", sm.name)
+		}
+		l.families[fam] = true
+		key := seriesKey(sm)
+		if first, dup := l.seen[key]; dup {
+			l.errf(line, "duplicate series %s (first at line %d)", sm.name, first)
+		} else {
+			l.seen[key] = line
+		}
+		l.samples = append(l.samples, sm)
+	}
+	l.checkHistograms()
+}
+
+// checkHistograms groups _bucket/_count samples per histogram series and
+// verifies cumulativity and the +Inf/_count agreement.
+func (l *linter) checkHistograms() {
+	type hist struct {
+		buckets map[float64]float64 // le -> cumulative count
+		inf     float64
+		hasInf  bool
+		count   float64
+		hasCnt  bool
+		line    int
+	}
+	hists := map[string]*hist{} // family + non-le labels
+	keyOf := func(fam string, labels map[string]string) string {
+		cp := make(map[string]string, len(labels))
+		for k, v := range labels {
+			if k != "le" {
+				cp[k] = v
+			}
+		}
+		return seriesKey(sample{name: fam, labels: cp})
+	}
+	get := func(k string, line int) *hist {
+		h := hists[k]
+		if h == nil {
+			h = &hist{buckets: map[float64]float64{}, line: line}
+			hists[k] = h
+		}
+		return h
+	}
+	for _, sm := range l.samples {
+		fam := baseFamily(sm.name, l.types)
+		if l.types[fam] != "histogram" {
+			continue
+		}
+		switch {
+		case strings.HasSuffix(sm.name, "_bucket"):
+			le, ok := sm.labels["le"]
+			if !ok {
+				l.errf(sm.line, "%s without an le label", sm.name)
+				continue
+			}
+			h := get(keyOf(fam, sm.labels), sm.line)
+			if le == "+Inf" {
+				h.inf, h.hasInf = sm.value, true
+				continue
+			}
+			bound, err := strconv.ParseFloat(le, 64)
+			if err != nil {
+				l.errf(sm.line, "unparsable le=%q", le)
+				continue
+			}
+			h.buckets[bound] = sm.value
+		case strings.HasSuffix(sm.name, "_count"):
+			h := get(keyOf(fam, sm.labels), sm.line)
+			h.count, h.hasCnt = sm.value, true
+		}
+	}
+	for _, h := range hists {
+		bounds := make([]float64, 0, len(h.buckets))
+		for b := range h.buckets {
+			bounds = append(bounds, b)
+		}
+		sort.Float64s(bounds)
+		prev := 0.0
+		for _, b := range bounds {
+			if h.buckets[b] < prev {
+				l.errf(h.line, "histogram bucket le=%g count %g below previous bucket %g (not cumulative)",
+					b, h.buckets[b], prev)
+			}
+			prev = h.buckets[b]
+		}
+		if !h.hasInf {
+			l.errf(h.line, "histogram without a +Inf bucket")
+		} else if h.inf < prev {
+			l.errf(h.line, "+Inf bucket %g below last finite bucket %g", h.inf, prev)
+		}
+		if h.hasInf && h.hasCnt && h.inf != h.count {
+			l.errf(h.line, "+Inf bucket %g != _count %g", h.inf, h.count)
+		}
+	}
+}
+
+func main() {
+	require := flag.String("require", "", "comma-separated family names that must be present")
+	flag.Parse()
+
+	in := os.Stdin
+	if flag.NArg() == 1 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		defer f.Close()
+		in = f
+	} else if flag.NArg() > 1 {
+		fmt.Fprintln(os.Stderr, "usage: metrics-lint [-require a,b,c] [exposition-file]")
+		os.Exit(2)
+	}
+
+	var lines []string
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	for sc.Scan() {
+		lines = append(lines, sc.Text())
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	l := &linter{types: map[string]string{}, seen: map[string]int{}, families: map[string]bool{}}
+	l.lint(lines)
+	if *require != "" {
+		for _, fam := range strings.Split(*require, ",") {
+			fam = strings.TrimSpace(fam)
+			if fam != "" && !l.families[fam] {
+				l.problems = append(l.problems, fmt.Sprintf("required family %s missing", fam))
+			}
+		}
+	}
+	if len(l.problems) > 0 {
+		for _, p := range l.problems {
+			fmt.Fprintln(os.Stderr, p)
+		}
+		fmt.Fprintf(os.Stderr, "metrics-lint: %d problem(s) in %d line(s)\n", len(l.problems), len(lines))
+		os.Exit(1)
+	}
+	fmt.Printf("metrics-lint: ok (%d series, %d families)\n", len(l.seen), len(l.families))
+}

@@ -15,7 +15,12 @@
 //     server's cache hit counter — tenants share one design-point cache.
 //  4. Panic isolation (-panic): /debugz/panic must answer 500 and the very
 //     next request 200 — one poisoned request, not a dead process.
-//  5. Leaks: the final /statsz goroutine count must be under -max-goroutines
+//  5. Metrics: /metricsz is scraped before and after the burst; the
+//     exposition must stay parseable, request counters must move by at
+//     least the burst size, with -expect-shed the shed counter must move,
+//     and with -panic the panic counter must reach 1. /debugz/requests
+//     must show traced requests with phase spans.
+//  6. Leaks: the final /statsz goroutine count must be under -max-goroutines
 //     after the storm has passed.
 //
 // The SIGTERM drain check (signal mid-flight, expect exit 0 and a flushed
@@ -30,6 +35,8 @@ import (
 	"io"
 	"net/http"
 	"os"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 )
@@ -85,6 +92,30 @@ func fail(format string, args ...any) {
 	os.Exit(1)
 }
 
+// scrapeMetric fetches /metricsz and sums the values of every sample whose
+// line starts with prefix (family name, optionally with a label matcher).
+// The bool reports whether any sample matched.
+func scrapeMetric(prefix string) (float64, bool) {
+	code, body := get("/metricsz")
+	if code != 200 {
+		fail("/metricsz = %d: %s", code, body)
+	}
+	total, found := 0.0, false
+	for _, line := range strings.Split(string(body), "\n") {
+		if strings.HasPrefix(line, "#") || !strings.HasPrefix(line, prefix) {
+			continue
+		}
+		fields := strings.Fields(line)
+		v, err := strconv.ParseFloat(fields[len(fields)-1], 64)
+		if err != nil {
+			fail("unparsable /metricsz sample %q: %v", line, err)
+		}
+		total += v
+		found = true
+	}
+	return total, found
+}
+
 func main() {
 	flag.Parse()
 
@@ -100,6 +131,12 @@ func main() {
 		time.Sleep(200 * time.Millisecond)
 	}
 	fmt.Println("serve-load: server ready")
+
+	// Baseline scrape before the burst: the counters we assert on below
+	// must move relative to this, not to zero, so the soak composes with
+	// whatever ran before it.
+	reqBefore, _ := scrapeMetric("plasticine_http_requests_total")
+	shedBefore, _ := scrapeMetric("plasticine_requests_shed_total")
 
 	// 2. Overload burst: mixed request classes, several tenants. The
 	// contract under overload is shed-with-429, never 5xx, never a dropped
@@ -170,7 +207,56 @@ func main() {
 		fmt.Println("serve-load: panic isolated; server survived")
 	}
 
-	// 5. Goroutine ceiling after the storm: give pollers a moment to wind
+	// 5. Metrics moved with the traffic. Request counting is middleware-side,
+	// so even shed requests count; the delta must cover the whole burst.
+	reqAfter, ok := scrapeMetric("plasticine_http_requests_total")
+	if !ok {
+		fail("no plasticine_http_requests_total samples in /metricsz")
+	}
+	if delta := reqAfter - reqBefore; delta < float64(*burst) {
+		fail("http_requests_total moved by %.0f across a burst of %d", delta, *burst)
+	}
+	if *expectShed {
+		shedAfter, _ := scrapeMetric("plasticine_requests_shed_total")
+		if shedAfter <= shedBefore {
+			fail("requests_shed_total did not move (%.0f -> %.0f) despite 429s", shedBefore, shedAfter)
+		}
+		fmt.Printf("serve-load: shed counter %.0f -> %.0f\n", shedBefore, shedAfter)
+	}
+	if *panicProbe {
+		if panics, _ := scrapeMetric("plasticine_request_panics_total"); panics < 1 {
+			fail("request_panics_total = %.0f after a panic probe, want >= 1", panics)
+		}
+	}
+	// The trace ring saw the burst: at least one record with phase spans.
+	code, body := get("/debugz/requests")
+	if code != 200 {
+		fail("/debugz/requests = %d: %s", code, body)
+	}
+	var ring struct {
+		Requests []struct {
+			ID      string `json:"id"`
+			PhaseUS int64  `json:"phase_us"`
+			Phases  []struct {
+				Name string `json:"name"`
+			} `json:"phases"`
+		} `json:"requests"`
+	}
+	if err := json.Unmarshal(body, &ring); err != nil {
+		fail("/debugz/requests is not JSON: %v", err)
+	}
+	traced := 0
+	for _, r := range ring.Requests {
+		if r.ID != "" && len(r.Phases) > 0 {
+			traced++
+		}
+	}
+	if traced == 0 {
+		fail("trace ring holds no requests with phase spans after the burst")
+	}
+	fmt.Printf("serve-load: metrics moved (%.0f requests total), %d traced requests in ring\n", reqAfter, traced)
+
+	// 6. Goroutine ceiling after the storm: give pollers a moment to wind
 	// down, then check the final snapshot.
 	time.Sleep(500 * time.Millisecond)
 	final, err := snapshot()
