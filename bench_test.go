@@ -13,6 +13,7 @@
 package plasticine_test
 
 import (
+	"context"
 	"testing"
 
 	"plasticine/internal/arch"
@@ -130,7 +131,7 @@ func ablate(b *testing.B, mk func() workloads.Benchmark, opts sim.Options) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		base, _, err := sim.Run(m)
+		base, _, err := sim.Simulate(context.Background(), m, sim.Options{})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -143,7 +144,7 @@ func ablate(b *testing.B, mk func() workloads.Benchmark, opts sim.Options) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		abl, _, err := sim.RunOpts(m2, opts)
+		abl, _, err := sim.Simulate(context.Background(), m2, opts)
 		if err != nil {
 			b.Fatal(err)
 		}

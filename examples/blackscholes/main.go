@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -45,7 +46,7 @@ func main() {
 		fmt.Printf("%s: %d cycles (%.1f us), %.1f GB/s DRAM\n",
 			label, res.Cycles, res.Seconds*1e6, res.EffectiveBandwidth()/1e9)
 	}
-	res, st, err := sim.Run(m)
+	res, st, err := sim.Simulate(context.Background(), m, sim.Options{})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -63,7 +64,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	res2, _, err := sim.RunOpts(m2, sim.Options{DisableNBuffer: true})
+	res2, _, err := sim.Simulate(context.Background(), m2, sim.Options{DisableNBuffer: true})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -35,7 +36,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	res, _, err := sim.RunOpts(m, sim.Options{CoalesceWindow: 1})
+	res, _, err := sim.Simulate(context.Background(), m, sim.Options{CoalesceWindow: 1})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -54,7 +54,7 @@ func (s *System) Run(p *dhdl.Program) (*sim.Result, *dhdl.State, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	return sim.Run(m)
+	return sim.Simulate(context.Background(), m, sim.Options{})
 }
 
 // BenchResult is one Table 7 row: Plasticine vs the FPGA baseline.
@@ -129,7 +129,8 @@ func (s *System) RunBenchmarkCtx(ctx context.Context, b workloads.Benchmark, pla
 		return nil, fmt.Errorf("core: %s: %w", b.Name(), err)
 	}
 	endSim := metrics.StartPhase(ctx, "sim")
-	res, st, err := sim.RunWithRecoveryCtx(ctx, m, opts)
+	opts.Recovery = true
+	res, st, err := sim.Simulate(ctx, m, opts)
 	endSim()
 	if err != nil {
 		return nil, fmt.Errorf("core: %s: %w", b.Name(), err)

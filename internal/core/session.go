@@ -176,7 +176,9 @@ func (s *Session) Run(ctx context.Context, p *dhdl.Program) (*sim.Result, *dhdl.
 	if err != nil {
 		return nil, nil, err
 	}
-	return sim.RunWithRecoveryCtx(ctx, m, s.simOpts)
+	opts := s.simOpts
+	opts.Recovery = true
+	return sim.Simulate(ctx, m, opts)
 }
 
 // planKey canonicalises a fault plan for cache keys. Plans are deterministic
@@ -200,8 +202,8 @@ func optsKey(o sim.Options) string {
 	if o.Faults != nil {
 		f = fmt.Sprintf("dramfaults=%+v", *o.Faults)
 	}
-	return fmt.Sprintf("cw=%d nbuf=%t %s %s max=%d stall=%d",
-		o.CoalesceWindow, o.DisableNBuffer, d, f, o.MaxCycles, o.StallWindow)
+	return fmt.Sprintf("cw=%d nbuf=%t %s %s max=%d stall=%d engine=%v",
+		o.CoalesceWindow, o.DisableNBuffer, d, f, o.MaxCycles, o.StallWindow, o.Engine)
 }
 
 // freshInstance returns a private copy of a registry benchmark. Benchmarks
@@ -485,11 +487,14 @@ func (s *Session) sweep() (*dse.Sweep, error) {
 
 // UseMetrics installs an instrumentation registry on the session: the
 // tuner and the DSE driver record generation timing and point counters
-// into it, and Engine() counters become scrapeable by whoever owns the
-// registry. Call before serving traffic — the lazily-built DSE driver
-// captures the registry at first use. A nil registry uninstalls.
+// into it, Engine() counters become scrapeable by whoever owns the
+// registry, and the simulator's event-core instruments (queue depth,
+// events per cycle) are armed process-wide. Call before serving traffic —
+// the lazily-built DSE driver captures the registry at first use. A nil
+// registry uninstalls.
 func (s *Session) UseMetrics(r *metrics.Registry) {
 	s.metricsReg.Store(r)
+	sim.UseMetrics(r)
 }
 
 // Figure7 computes one Figure 7 panel (a-f) through the shared sweep.

@@ -7,7 +7,11 @@
 // evaluation.
 package dram
 
-import "fmt"
+import (
+	"fmt"
+
+	"plasticine/internal/eventq"
+)
 
 // Config describes the memory system. All timings are in fabric clock
 // cycles (the simulator runs the fabric at 1 GHz, so 1 cycle = 1 ns).
@@ -61,6 +65,12 @@ type Request struct {
 
 	issued   int64 // arrival cycle, for FR-FCFS aging
 	attempts int   // transient-failure retries so far
+
+	// Cached address decomposition (see decode); geometry-derived, so it
+	// never changes once computed.
+	bk      int
+	row     int64
+	decoded bool
 }
 
 type bank struct {
@@ -119,9 +129,13 @@ func (s Stats) AvgLatency() float64 {
 
 // DRAM is the memory system instance.
 type DRAM struct {
-	cfg         Config
-	channels    []channel
-	pending     []completion
+	cfg      Config
+	channels []channel
+	// pending holds scheduled completions keyed by finish cycle. The heap's
+	// (cycle, push-order) tie-break reproduces the legacy slice's insertion-
+	// order firing for same-cycle completions, which keeps the fault PRNG's
+	// draw sequence — and therefore every checkpoint byte — identical.
+	pending     eventq.Queue[*Request]
 	stats       Stats
 	chanStats   []ChanStats
 	now         int64
@@ -185,6 +199,19 @@ func (d *DRAM) bankRowOf(addr uint64) (int, int64) {
 	return b, row
 }
 
+// decode caches a request's (bank, row) on the request itself: the FR-FCFS
+// scan revisits every queued request every tick, and the divisions in
+// bankRowOf dominated the scheduler's profile. Bank and row depend only on
+// the address and the (immutable) geometry, never on fault remapping, so
+// the cache is safe across the request's whole life.
+func (d *DRAM) decode(r *Request) (int, int64) {
+	if !r.decoded {
+		r.bk, r.row = d.bankRowOf(r.Addr)
+		r.decoded = true
+	}
+	return r.bk, r.row
+}
+
 // CanAccept reports whether the channel owning addr has queue space.
 func (d *DRAM) CanAccept(addr uint64) bool {
 	ci := d.channelOf(addr)
@@ -224,17 +251,16 @@ func (d *DRAM) Submit(r *Request) bool {
 func (d *DRAM) Tick(now int64) {
 	d.now = now
 	// Fire completions; bursts hit by a transient fault re-queue instead.
-	kept := d.pending[:0]
-	for _, c := range d.pending {
-		if c.at <= now {
-			if !d.maybeRetry(c.req, now) {
-				d.finish(c.req, now)
-			}
-		} else {
-			kept = append(kept, c)
+	for {
+		at, ok := d.pending.PeekAt()
+		if !ok || at > now {
+			break
+		}
+		r, _ := d.pending.Pop()
+		if !d.maybeRetry(r, now) {
+			d.finish(r, now)
 		}
 	}
-	d.pending = kept
 	d.drainRetries(now)
 
 	// Periodic refresh: every tREFI, each channel's banks are unavailable
@@ -291,24 +317,26 @@ func (d *DRAM) schedule(ci int, now int64) {
 	if len(ch.queue) == 0 {
 		return
 	}
-	// FR-FCFS: first ready row hit, else oldest whose bank is ready.
-	pick := -1
+	// FR-FCFS: first ready row hit, else oldest whose bank is ready (one
+	// pass; tracking the oldest-ready fallback while scanning for a row hit
+	// picks the same request the two-pass form would).
+	pick, oldestReady := -1, -1
 	for i, r := range ch.queue {
-		b, row := d.bankRowOf(r.Addr)
+		b, row := d.decode(r)
 		bk := &ch.banks[b]
-		if bk.readyAt <= now && bk.openRow == row {
+		if bk.readyAt > now {
+			continue
+		}
+		if bk.openRow == row {
 			pick = i
 			break
 		}
+		if oldestReady < 0 {
+			oldestReady = i
+		}
 	}
 	if pick < 0 {
-		for i, r := range ch.queue {
-			b, _ := d.bankRowOf(r.Addr)
-			if ch.banks[b].readyAt <= now {
-				pick = i
-				break
-			}
-		}
+		pick = oldestReady
 	}
 	if pick < 0 {
 		return
@@ -316,7 +344,7 @@ func (d *DRAM) schedule(ci int, now int64) {
 	r := ch.queue[pick]
 	ch.queue = append(ch.queue[:pick], ch.queue[pick+1:]...)
 
-	b, row := d.bankRowOf(r.Addr)
+	b, row := d.decode(r)
 	bk := &ch.banks[b]
 	var accessLatency int64
 	switch {
@@ -357,12 +385,12 @@ func (d *DRAM) schedule(ci int, now int64) {
 	// tCCD (~ one burst) plus any activate/precharge work, while this
 	// request's data is still in flight.
 	bk.readyAt = start + int64(d.cfg.BurstCycle) + (accessLatency - int64(d.cfg.TCAS))
-	d.pending = append(d.pending, completion{at: done, req: r})
+	d.pending.Push(done, r)
 }
 
 // Idle reports whether no requests are queued or in flight.
 func (d *DRAM) Idle() bool {
-	if len(d.pending) > 0 || len(d.retryq) > 0 {
+	if d.pending.Len() > 0 || len(d.retryq) > 0 {
 		return false
 	}
 	for i := range d.channels {
@@ -372,6 +400,100 @@ func (d *DRAM) Idle() bool {
 	}
 	return true
 }
+
+// NextEventAt returns the earliest cycle strictly after now at which a Tick
+// could change memory-system state: a pending completion firing, a retry
+// backoff elapsing (a due-but-blocked retry forces now+1, because its
+// failed per-tick resubmission attempts increment stall counters), the next
+// refresh, or a channel whose queued work finds a ready bank. Every cycle
+// strictly between now and the returned value is provably a Tick no-op, so
+// the event-driven engine may skip straight to it. Returns -1 when no
+// event is scheduled (the memory system is idle and refresh is disabled).
+func (d *DRAM) NextEventAt(now int64) int64 {
+	next := int64(-1)
+	consider := func(v int64) {
+		if v <= now {
+			v = now + 1
+		}
+		if next < 0 || v < next {
+			next = v
+		}
+	}
+	// now+1 is the floor; once a candidate hits it, nothing can be earlier,
+	// so the remaining (and costlier) scans are skipped.
+	if at, ok := d.pending.PeekAt(); ok {
+		consider(at)
+	}
+	for _, c := range d.retryq {
+		consider(c.at)
+	}
+	if d.cfg.TREFI > 0 {
+		consider(d.nextRefresh)
+	}
+	for ci := range d.channels {
+		if next == now+1 {
+			return next
+		}
+		ch := &d.channels[ci]
+		if len(ch.queue) == 0 {
+			continue
+		}
+		// FR-FCFS can issue a command the first cycle any queued request's
+		// bank is ready; before that every schedule() pass picks nothing.
+		for _, r := range ch.queue {
+			b, _ := d.decode(r)
+			consider(ch.banks[b].readyAt)
+			if next == now+1 {
+				return next
+			}
+		}
+	}
+	return next
+}
+
+// Accepts probes whether Submit would succeed for addr right now, with no
+// side effects (no stall counters, no state change). down reports the
+// rejection kind when ok is false: true when no healthy channel owns the
+// address, false when the owning channel's queue is full.
+func (d *DRAM) Accepts(addr uint64) (ok, down bool) {
+	ci := d.channelOf(addr)
+	if ci < 0 {
+		return false, true
+	}
+	return len(d.channels[ci].queue) < d.cfg.QueueDepth, false
+}
+
+// AccountRejects adds n rejected-submission attempts to the stall counters
+// without performing them. The event-driven engine parks a transfer whose
+// submissions are blocked instead of re-attempting every cycle; this keeps
+// the counters — which are part of the checkpoint wire format — identical
+// to the legacy engine's per-cycle attempts.
+func (d *DRAM) AccountRejects(down bool, n int64) {
+	if n <= 0 {
+		return
+	}
+	if down {
+		d.stats.StallsChannelDown += n
+	} else {
+		d.stats.StallsQueueFull += n
+	}
+}
+
+// QueueSlack returns the free request-queue slots on channel ci.
+func (d *DRAM) QueueSlack(ci int) int {
+	if ci < 0 || ci >= len(d.channels) {
+		return 0
+	}
+	return d.cfg.QueueDepth - len(d.channels[ci].queue)
+}
+
+// ChannelIndex returns the (fault-remapped) channel owning addr, -1 when
+// every candidate channel is down.
+func (d *DRAM) ChannelIndex(addr uint64) int { return d.channelOf(addr) }
+
+// EventCount returns scheduled future events (pending completions plus
+// retrying bursts) — the event-queue depth the observability gauge samples.
+func (d *DRAM) EventCount() int { return d.pending.Len() + len(d.retryq) }
 
 // PeakBandwidth returns bytes/cycle at full bus utilisation.
 func (c Config) PeakBandwidth() float64 {

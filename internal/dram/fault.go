@@ -206,15 +206,13 @@ func (d *DRAM) KillChannel(c int, lost func(*Request)) (int, error) {
 		drop(r)
 	}
 	ch.queue = nil
-	keptP := d.pending[:0]
-	for _, p := range d.pending {
-		if d.channelOf(p.req.Addr) == c {
-			drop(p.req)
-		} else {
-			keptP = append(keptP, p)
+	d.pending.Filter(func(r *Request) bool {
+		if d.channelOf(r.Addr) == c {
+			drop(r)
+			return false
 		}
-	}
-	d.pending = keptP
+		return true
+	})
 	keptR := d.retryq[:0]
 	for _, p := range d.retryq {
 		if d.channelOf(p.req.Addr) == c {

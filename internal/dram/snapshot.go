@@ -1,6 +1,10 @@
 package dram
 
-import "fmt"
+import (
+	"fmt"
+
+	"plasticine/internal/eventq"
+)
 
 // This file supports mid-run checkpointing: the memory system's entire
 // dynamic state — bank row buffers, bus reservations, refresh phase, queued
@@ -87,9 +91,9 @@ func (d *DRAM) Snapshot() *MemState {
 			st.Queued[ci] = append(st.Queued[ci], reqState(r, 0))
 		}
 	}
-	for _, c := range d.pending {
-		st.Pending = append(st.Pending, reqState(c.req, c.at))
-	}
+	d.pending.InOrder(func(at int64, r *Request) {
+		st.Pending = append(st.Pending, reqState(r, at))
+	})
 	for _, c := range d.retryq {
 		st.Retry = append(st.Retry, reqState(c.req, c.at))
 	}
@@ -148,13 +152,13 @@ func (d *DRAM) Restore(st *MemState, done func(tag int64) func(now int64)) error
 			ch.queue = append(ch.queue, r)
 		}
 	}
-	d.pending = nil
+	d.pending = eventq.Queue[*Request]{}
 	for _, rs := range st.Pending {
 		r, err := revive(rs)
 		if err != nil {
 			return err
 		}
-		d.pending = append(d.pending, completion{at: rs.At, req: r})
+		d.pending.Push(rs.At, r)
 	}
 	d.retryq = nil
 	for _, rs := range st.Retry {

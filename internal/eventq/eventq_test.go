@@ -1,0 +1,155 @@
+package eventq
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestOrderingAndTieBreak(t *testing.T) {
+	var q Queue[string]
+	q.Push(30, "c")
+	q.Push(10, "a1")
+	q.Push(20, "b")
+	q.Push(10, "a2") // same cycle as a1, pushed later
+	q.Push(10, "a3")
+
+	want := []struct {
+		at  int64
+		val string
+	}{{10, "a1"}, {10, "a2"}, {10, "a3"}, {20, "b"}, {30, "c"}}
+	for i, w := range want {
+		if at, ok := q.PeekAt(); !ok || at != w.at {
+			t.Fatalf("peek %d: got (%d,%v), want %d", i, at, ok, w.at)
+		}
+		v, at := q.Pop()
+		if v != w.val || at != w.at {
+			t.Fatalf("pop %d: got (%q,%d), want (%q,%d)", i, v, at, w.val, w.at)
+		}
+	}
+	if q.Len() != 0 {
+		t.Fatalf("queue not empty after draining: %d", q.Len())
+	}
+	if _, ok := q.PeekAt(); ok {
+		t.Fatal("PeekAt on empty queue reported an entry")
+	}
+}
+
+// TestDeterministicUnderRandomLoad: for any interleaving of pushes and
+// pops, pop order equals a stable sort by (cycle, push order).
+func TestDeterministicUnderRandomLoad(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		var q Queue[int]
+		type rec struct {
+			at  int64
+			id  int
+			out bool
+		}
+		var pushed []rec
+		var popped []rec
+		n := 1 + rng.Intn(200)
+		for i := 0; i < n; i++ {
+			if q.Len() > 0 && rng.Intn(3) == 0 {
+				id, at := q.Pop()
+				popped = append(popped, rec{at: at, id: id})
+				pushed[id].out = true
+				continue
+			}
+			at := int64(rng.Intn(20))
+			pushed = append(pushed, rec{at: at, id: len(pushed)})
+			q.Push(at, pushed[len(pushed)-1].id)
+		}
+		for q.Len() > 0 {
+			id, at := q.Pop()
+			popped = append(popped, rec{at: at, id: id})
+		}
+		// Every pop must return the minimum (at, id) among entries present
+		// at that moment. Verify the global drain tail: once pushes stop,
+		// pops come out in exact (at, id) order.
+		tail := popped[len(popped)-q.Len():]
+		if !sort.SliceIsSorted(tail, func(i, j int) bool {
+			if tail[i].at != tail[j].at {
+				return tail[i].at < tail[j].at
+			}
+			return tail[i].id < tail[j].id
+		}) {
+			t.Fatalf("trial %d: drain tail out of order: %+v", trial, tail)
+		}
+	}
+}
+
+// TestPopMinimalInvariant: a pop never returns an entry with a later cycle
+// than another entry still in the queue, and same-cycle entries come out
+// in push order.
+func TestPopMinimalInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var q Queue[uint64]
+	live := map[uint64]int64{}
+	var seq uint64
+	for step := 0; step < 5000; step++ {
+		if q.Len() == 0 || rng.Intn(2) == 0 {
+			at := int64(rng.Intn(50))
+			q.Push(at, seq)
+			live[seq] = at
+			seq++
+			continue
+		}
+		id, at := q.Pop()
+		if live[id] != at {
+			t.Fatalf("pop returned (%d,%d), pushed at %d", id, at, live[id])
+		}
+		for oid, oat := range live {
+			if oid == id {
+				continue
+			}
+			if oat < at || (oat == at && oid < id) {
+				t.Fatalf("pop returned (%d,%d) while (%d,%d) was queued", id, at, oid, oat)
+			}
+		}
+		delete(live, id)
+	}
+}
+
+func TestFilterPreservesOrderAndVisitsInPushOrder(t *testing.T) {
+	var q Queue[int]
+	ats := []int64{5, 3, 9, 3, 7, 1}
+	for i, at := range ats {
+		q.Push(at, i)
+	}
+	var visited []int
+	q.Filter(func(v int) bool {
+		visited = append(visited, v)
+		return v%2 == 0 // drop odd push ids
+	})
+	for i, v := range visited {
+		if v != i {
+			t.Fatalf("Filter visited %v, want push order 0..%d", visited, len(ats)-1)
+		}
+	}
+	// Survivors pop in (at, push) order: ids 0(at5) 2(at9) 4(at7) remain.
+	wantIDs := []int{0, 4, 2}
+	wantAts := []int64{5, 7, 9}
+	for i := range wantIDs {
+		v, at := q.Pop()
+		if v != wantIDs[i] || at != wantAts[i] {
+			t.Fatalf("post-filter pop %d: got (%d,%d), want (%d,%d)", i, v, at, wantIDs[i], wantAts[i])
+		}
+	}
+}
+
+func TestInOrderDoesNotMutate(t *testing.T) {
+	var q Queue[int]
+	q.Push(4, 0)
+	q.Push(2, 1)
+	q.Push(4, 2)
+	var seen []int64
+	q.InOrder(func(at int64, v int) { seen = append(seen, at) })
+	q.InOrder(func(at int64, v int) {}) // second pass must see the same queue
+	if len(seen) != 3 || seen[0] != 2 || seen[1] != 4 || seen[2] != 4 {
+		t.Fatalf("InOrder visited %v, want [2 4 4]", seen)
+	}
+	if v, at := q.Pop(); v != 1 || at != 2 {
+		t.Fatalf("InOrder mutated the queue: pop got (%d,%d)", v, at)
+	}
+}

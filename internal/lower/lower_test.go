@@ -1,6 +1,7 @@
 package lower
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -188,7 +189,7 @@ func TestLoweredProgramsCompileAndSimulate(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	simRes, st, err := sim.Run(m)
+	simRes, st, err := sim.Simulate(context.Background(), m, sim.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -212,6 +212,7 @@ func (e *engine) restore(cp *Checkpoint) error {
 		rx := &runningXfer{act: a, nextBurst: int(rs.NextBurst),
 			inFlight: int(rs.InFlight), completed: int(rs.Completed),
 			busy: rs.Busy, lastBusy: rs.LastBusy, hiWater: int(rs.HiWater)}
+		rx.done = e.burstDone(rx)
 		if rx.nextBurst < 0 || rx.nextBurst > len(a.bursts) {
 			return fmt.Errorf("%w: transfer %d next burst %d out of range", ErrBadCheckpoint, a.id, rx.nextBurst)
 		}
@@ -234,18 +235,14 @@ func (e *engine) restore(cp *Checkpoint) error {
 			if !ok {
 				return nil // Restore turns a nil callback into an error
 			}
-			return func(now int64) {
-				rx.inFlight--
-				rx.completed++
-				e.bursts++
-				if e.rec != nil {
-					rx.markBusy(now)
-				}
-			}
+			return rx.done
 		})
 		if err != nil {
 			return fmt.Errorf("%w: %v", ErrBadCheckpoint, err)
 		}
+	}
+	if e.mode == EngineEvent {
+		e.rebuildEventState()
 	}
 	return nil
 }

@@ -23,6 +23,19 @@ const agOutstanding = 32
 // agIssueWidth is bursts an AG can enqueue per cycle.
 const agIssueWidth = 1
 
+// rxState is the event-driven core's view of one running transfer. The
+// legacy cycle loop scans every running transfer every cycle; the event
+// core instead keeps only actionable transfers in the active list and
+// parks the rest until the event that could unblock them fires.
+type rxState uint8
+
+const (
+	rxActive  rxState = iota // may issue a burst this cycle (in engine.active)
+	rxSat                    // AG FIFO full; woken by a burst completion
+	rxDone                   // all bursts issued; retires when they land
+	rxBlocked                // Submit rejected; woken when its channel frees
+)
+
 // runningXfer tracks an in-flight transfer activity.
 type runningXfer struct {
 	act       *activity
@@ -33,6 +46,24 @@ type runningXfer struct {
 	// fault (e.g. a killed DRAM channel) and must be reissued. act.bursts is
 	// never mutated, so the graph fingerprint stays valid across recovery.
 	requeue []int
+
+	// Event-core bookkeeping (untouched by the legacy cycle loop). seq is
+	// the admission order — the legacy engine attempts transfers in running-
+	// list order every cycle, so the event core's issue pass must scan its
+	// active subset in exactly that order. accountedThrough supports the
+	// parked-transfer virtual stall accounting (see settleParked): the last
+	// cycle whose would-be rejected submission has been added to the DRAM
+	// stall counters. blockedDown/blockedChan record why/where a blocked
+	// transfer parked.
+	seq              int64
+	state            rxState
+	accountedThrough int64
+	blockedDown      bool
+	blockedChan      int
+
+	// done is the transfer's completion callback (see engine.burstDone),
+	// built once at admission so issuing a burst allocates no closure.
+	done func(now int64)
 
 	// Observability (tracked only when a trace.Recorder is armed): cycles on
 	// which the AG issued or landed at least one burst, deduplicated through
@@ -71,6 +102,12 @@ type engine struct {
 	dram  *dram.DRAM
 	clock int64
 
+	// mode selects the scheduling core: EngineEvent (default) skips between
+	// state-changing cycles, EngineCycle is the legacy cycle-by-cycle
+	// reference loop. Both produce byte-identical results; the cycle loop is
+	// kept as the regression oracle (see the golden differential tests).
+	mode EngineKind
+
 	// Observability: units is the builder's physical-unit registry; rec, when
 	// non-nil, arms the per-transfer busy/high-water counters. Everything
 	// else the Recorder needs is replayed from the resolved graph after the
@@ -104,6 +141,22 @@ type engine struct {
 	lastResolved   int
 	lastBursts     int64
 	lastProgressAt int64
+
+	// Event-core state (unused by the legacy cycle loop). active is the
+	// subset of running transfers that may issue a burst next cycle, kept in
+	// admission (seq) order; activeDirty marks out-of-order wakeups that
+	// require a re-sort. parked maps a DRAM channel index (-1 = every
+	// channel down) to the transfers blocked on it. retireNeeded is set by
+	// the completion callback when a transfer lands its last burst, so the
+	// O(running) retire scan only runs on cycles where something can retire.
+	nextSeq      int64
+	active       []*runningXfer
+	activeDirty  bool
+	parked       map[int][]*runningXfer
+	retireNeeded bool
+	steps        int64 // event-loop iterations (events-per-cycle metric)
+
+	insts *simInstruments // nil unless UseMetrics armed a registry
 }
 
 // start seeds the ready list; idempotent across runUntil calls.
@@ -160,48 +213,74 @@ func (e *engine) drainReady() {
 	}
 }
 
+// burstDone builds the completion callback for one transfer's bursts. Both
+// engine modes and checkpoint restore share it, so a burst landing has
+// identical effects everywhere. In event mode a completion additionally
+// wakes a saturated AG and flags the retire scan when the transfer's last
+// burst lands.
+func (e *engine) burstDone(rx *runningXfer) func(now int64) {
+	return func(now int64) {
+		rx.inFlight--
+		rx.completed++
+		e.bursts++
+		if e.rec != nil {
+			rx.markBusy(now)
+		}
+		if e.mode == EngineEvent {
+			if rx.state == rxSat {
+				rx.state = rxActive
+				e.active = append(e.active, rx)
+				e.activeDirty = true
+			}
+			if rx.completed == len(rx.act.bursts) {
+				e.retireNeeded = true
+			}
+		}
+	}
+}
+
+// issueInto attempts one cycle's worth of burst submissions for one
+// transfer (the legacy per-cycle AG sequence, verbatim): reissue fault-
+// dropped bursts before advancing to new ones, stop at the outstanding cap
+// or the first rejected submission.
+func (e *engine) issueInto(rx *runningXfer) {
+	for k := 0; k < agIssueWidth; k++ {
+		if rx.inFlight >= agOutstanding {
+			break
+		}
+		idx := -1
+		if len(rx.requeue) > 0 {
+			idx = rx.requeue[0]
+		} else if rx.nextBurst < len(rx.act.bursts) {
+			idx = rx.nextBurst
+		} else {
+			break
+		}
+		req := &dram.Request{Addr: rx.act.bursts[idx], Write: rx.act.write,
+			Tag: burstTag(rx.act.id, idx), Done: rx.done}
+		if !e.dram.Submit(req) {
+			break // channel queue full; retry next cycle
+		}
+		if len(rx.requeue) > 0 {
+			rx.requeue = rx.requeue[1:]
+		} else {
+			rx.nextBurst++
+		}
+		rx.inFlight++
+		if e.rec != nil {
+			rx.markBusy(e.clock)
+			if rx.inFlight > rx.hiWater {
+				rx.hiWater = rx.inFlight
+			}
+		}
+	}
+}
+
 // issueBursts feeds each running transfer's AG, reissuing fault-dropped
 // bursts before advancing to new ones.
 func (e *engine) issueBursts() {
 	for _, rx := range e.running {
-		for k := 0; k < agIssueWidth; k++ {
-			if rx.inFlight >= agOutstanding {
-				break
-			}
-			idx := -1
-			if len(rx.requeue) > 0 {
-				idx = rx.requeue[0]
-			} else if rx.nextBurst < len(rx.act.bursts) {
-				idx = rx.nextBurst
-			} else {
-				break
-			}
-			rxc := rx
-			req := &dram.Request{Addr: rx.act.bursts[idx], Write: rx.act.write,
-				Tag: burstTag(rx.act.id, idx), Done: func(now int64) {
-					rxc.inFlight--
-					rxc.completed++
-					e.bursts++
-					if e.rec != nil {
-						rxc.markBusy(now)
-					}
-				}}
-			if !e.dram.Submit(req) {
-				break // channel queue full; retry next cycle
-			}
-			if len(rx.requeue) > 0 {
-				rx.requeue = rx.requeue[1:]
-			} else {
-				rx.nextBurst++
-			}
-			rx.inFlight++
-			if e.rec != nil {
-				rx.markBusy(e.clock)
-				if rx.inFlight > rx.hiWater {
-					rx.hiWater = rx.inFlight
-				}
-			}
-		}
+		e.issueInto(rx)
 	}
 }
 
@@ -243,7 +322,20 @@ func (e *engine) checkWatchdog() error {
 		return w
 	}
 	if stallWindow > 0 && e.clock-e.lastProgressAt >= stallWindow {
-		return e.diagnostic(fmt.Sprintf("no forward progress for %d cycles (livelock)", stallWindow))
+		// Event-time-aware progress: while the memory system still holds
+		// scheduled work (a pending completion, a retrying burst, a queued
+		// request), a future event is guaranteed — the wait is long, not
+		// livelocked. This keeps a skip-ahead over a quiescent DRAM gap
+		// (e.g. an injected latency spike or a deep retry backoff) from
+		// being misclassified as a stall. Genuine livelock — every channel
+		// down, nothing in flight — leaves the DRAM idle and still trips
+		// here, at the same cycle and with the same classification as
+		// before (Cause nil, Transient() false).
+		if e.dram != nil && !e.dram.Idle() {
+			e.lastProgressAt = e.clock
+		} else {
+			return e.diagnostic(fmt.Sprintf("no forward progress for %d cycles (livelock)", stallWindow))
+		}
 	}
 	return nil
 }
@@ -254,6 +346,15 @@ func (e *engine) checkWatchdog() error {
 // boundary — between cycles — which is exactly where a checkpoint or fault
 // event may be applied.
 func (e *engine) runUntil(stopAt int64) (bool, error) {
+	if e.mode == EngineCycle {
+		return e.runUntilCycle(stopAt)
+	}
+	return e.runUntilEvent(stopAt)
+}
+
+// runUntilCycle is the legacy cycle-by-cycle loop, kept verbatim as the
+// reference oracle the event core is differentially tested against.
+func (e *engine) runUntilCycle(stopAt int64) (bool, error) {
 	e.start()
 	e.drainReady()
 	for len(e.waiting) > 0 || len(e.running) > 0 {
@@ -275,7 +376,9 @@ func (e *engine) runUntil(stopAt int64) (bool, error) {
 		}
 		for len(e.waiting) > 0 && e.waiting[0].start <= e.clock {
 			a := heap.Pop(&e.waiting).(*activity)
-			e.running = append(e.running, &runningXfer{act: a, lastBusy: -1})
+			rx := &runningXfer{act: a, lastBusy: -1}
+			rx.done = e.burstDone(rx)
+			e.running = append(e.running, rx)
 			e.lastProgressAt = e.clock // admission is forward progress
 		}
 		e.issueBursts()
@@ -361,6 +464,14 @@ func (e *engine) quiescent() bool {
 // overhead. The watchdog stays armed, so a drain that cannot finish (e.g.
 // every channel down) aborts instead of spinning.
 func (e *engine) drainInFlight() (QuiesceState, int64, error) {
+	if e.mode == EngineCycle {
+		return e.drainInFlightCycle()
+	}
+	return e.drainInFlightEvent()
+}
+
+// drainInFlightCycle is the legacy per-cycle drain loop.
+func (e *engine) drainInFlightCycle() (QuiesceState, int64, error) {
 	q := e.quiesceState()
 	from := e.clock
 	for !e.quiescent() {

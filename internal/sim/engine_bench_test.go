@@ -1,0 +1,33 @@
+package sim
+
+import (
+	"context"
+	"testing"
+
+	"plasticine/internal/arch"
+	"plasticine/internal/compiler"
+	"plasticine/internal/workloads"
+)
+
+func benchEngine(b *testing.B, kind EngineKind) {
+	for i := 0; i < b.N; i++ {
+		w, _ := workloads.ByName("InnerProduct")
+		prog, err := w.Build()
+		if err != nil {
+			b.Fatal(err)
+		}
+		m, err := compiler.Compile(prog, arch.Default())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		res, _, err := Simulate(context.Background(), m, Options{Engine: kind})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.Cycles)/res.WallTime.Seconds(), "cyc/s")
+	}
+}
+
+func BenchmarkEngineEventIP(b *testing.B) { benchEngine(b, EngineEvent) }
+func BenchmarkEngineCycleIP(b *testing.B) { benchEngine(b, EngineCycle) }

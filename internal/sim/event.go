@@ -1,0 +1,347 @@
+package sim
+
+import (
+	"container/heap"
+	"sort"
+)
+
+// This file is the discrete-event scheduling core (EngineEvent, the
+// default). It resolves the identical activity graph against the identical
+// DRAM model as the legacy cycle-by-cycle loop in engine.go, but instead of
+// ticking every cycle it computes the next state-changing cycle and jumps
+// straight to it. Byte-identity with the legacy loop is the contract — same
+// cycle counts, same DRAM counters, same checkpoint bytes, same watchdog
+// trip cycles — and rests on one invariant: every cycle skipped over is
+// provably a no-op under the legacy loop's per-cycle step sequence
+// [admit, issue, tick, watchdog, retire, drainReady].
+//
+// Event taxonomy (the candidates nextEventCycle gathers):
+//   - transfer admission: the start heap's earliest start time;
+//   - burst issue: clock+1 while any active AG can submit another burst;
+//   - DRAM activity (dram.NextEventAt): pending burst completions, retry
+//     backoffs elapsing, the periodic refresh, and the first cycle a
+//     channel's queued work finds a ready bank;
+//   - deadlines: the watchdog's stall window, the cycle budget, and the
+//     periodic context-cancellation poll, so aborts land on the same cycle
+//     the legacy loop would trip.
+//
+// Transfers that cannot act are parked instead of rescanned: a saturated AG
+// (32 bursts in flight) wakes on a completion; an AG whose submission was
+// rejected parks against its target channel and wakes when that channel
+// frees a queue slot. The legacy engine increments a DRAM stall counter for
+// every rejected per-cycle submission attempt, and those counters are part
+// of the checkpoint wire format — parked transfers therefore account their
+// skipped attempts virtually (settleParked) so the counters stay exact.
+
+// issueBurstsEvent is the event core's issue pass: only transfers that may
+// actually submit this cycle are scanned, in admission order (the legacy
+// loop attempts transfers in running-list order, which is admission order).
+// It reports whether any transfer remains issuable next cycle.
+func (e *engine) issueBurstsEvent() bool {
+	if len(e.active) == 0 {
+		return false
+	}
+	if e.activeDirty {
+		sort.Slice(e.active, func(i, j int) bool { return e.active[i].seq < e.active[j].seq })
+		e.activeDirty = false
+	}
+	kept := e.active[:0]
+	for _, rx := range e.active {
+		if rx.act.resolved {
+			continue // retired while waiting for its wakeup
+		}
+		e.issueInto(rx)
+		switch {
+		case rx.inFlight >= agOutstanding:
+			rx.state = rxSat // a burst completion reactivates it
+		case len(rx.requeue) == 0 && rx.nextBurst >= len(rx.act.bursts):
+			rx.state = rxDone // nothing left to issue; retires when bursts land
+		default:
+			idx := rx.nextBurst
+			if len(rx.requeue) > 0 {
+				idx = rx.requeue[0]
+			}
+			if ok, down := e.dram.Accepts(rx.act.bursts[idx]); ok {
+				rx.state = rxActive
+				kept = append(kept, rx)
+			} else {
+				e.parkBlocked(rx, down)
+			}
+		}
+	}
+	for i := len(kept); i < len(e.active); i++ {
+		e.active[i] = nil
+	}
+	e.active = kept
+	return len(e.active) > 0
+}
+
+// parkBlocked benches a transfer whose next submission would be rejected.
+// accountedThrough records that stall counters are settled through the
+// current cycle (the rejection that just happened, if any, was counted for
+// real by Submit).
+func (e *engine) parkBlocked(rx *runningXfer, down bool) {
+	ci := -1
+	if !down {
+		idx := rx.nextBurst
+		if len(rx.requeue) > 0 {
+			idx = rx.requeue[0]
+		}
+		ci = e.dram.ChannelIndex(rx.act.bursts[idx])
+	}
+	rx.state = rxBlocked
+	rx.blockedDown = down
+	rx.blockedChan = ci
+	rx.accountedThrough = e.clock
+	if e.parked == nil {
+		e.parked = make(map[int][]*runningXfer)
+	}
+	e.parked[ci] = append(e.parked[ci], rx)
+}
+
+// settleOne adds a parked transfer's skipped per-cycle rejections (cycles
+// accountedThrough+1 .. upto) to the DRAM stall counters.
+func (e *engine) settleOne(rx *runningXfer, upto int64) {
+	if n := upto - rx.accountedThrough; n > 0 {
+		e.dram.AccountRejects(rx.blockedDown, n)
+		rx.accountedThrough = upto
+	}
+}
+
+// settleParked settles every parked transfer's virtual rejections through
+// cycle upto — called wherever the legacy loop's real per-cycle attempts
+// stop being replayable (a pause, an abort). Counter order within a cycle
+// does not matter: the stall counters are plain sums.
+func (e *engine) settleParked(upto int64) {
+	for _, group := range e.parked {
+		for _, rx := range group {
+			e.settleOne(rx, upto)
+		}
+	}
+}
+
+// wakeParked reactivates blocked transfers whose target channel freed queue
+// slots during the tick that just ran. At most `slack` transfers wake, in
+// admission order — exactly the set whose next real attempt can differ from
+// a rejection. A woken transfer that still loses the race for the slot (an
+// active lower-seq transfer claims it first) simply fails its real attempt
+// and re-parks, which is what the legacy loop's attempt would have done.
+func (e *engine) wakeParked() {
+	if len(e.parked) == 0 {
+		return
+	}
+	for ci, group := range e.parked {
+		if ci < 0 {
+			continue // a downed channel never heals mid-run
+		}
+		free := e.dram.QueueSlack(ci)
+		if free <= 0 {
+			continue
+		}
+		sort.Slice(group, func(i, j int) bool { return group[i].seq < group[j].seq })
+		n := free
+		if n > len(group) {
+			n = len(group)
+		}
+		for _, rx := range group[:n] {
+			e.settleOne(rx, e.clock-1) // real attempt resumes at e.clock
+			rx.state = rxActive
+			e.active = append(e.active, rx)
+			e.activeDirty = true
+		}
+		if rest := group[n:]; len(rest) == 0 {
+			delete(e.parked, ci)
+		} else {
+			e.parked[ci] = rest
+		}
+	}
+}
+
+// nextEventCycle returns the next cycle at which engine or memory state can
+// change — the cycle the legacy loop would next do observable work on. All
+// intermediate cycles are no-ops by construction: no admission is due, no
+// active AG can issue, the DRAM has no completion/retry/refresh/schedule
+// opportunity, and no watchdog deadline expires.
+func (e *engine) nextEventCycle(stopAt int64, canIssue bool) int64 {
+	if canIssue {
+		// clock+1 is the floor every other candidate clamps to, so an
+		// issuable transfer decides the answer outright.
+		next := e.clock + 1
+		if stopAt >= 0 && next > stopAt {
+			next = stopAt
+		}
+		return next
+	}
+	next := int64(-1)
+	consider := func(v int64) {
+		if v <= e.clock {
+			v = e.clock + 1
+		}
+		if next < 0 || v < next {
+			next = v
+		}
+	}
+	if len(e.waiting) > 0 {
+		consider(e.waiting[0].start)
+	}
+	if at := e.dram.NextEventAt(e.clock); at >= 0 {
+		consider(at)
+	}
+	stallWindow := e.stallWindow
+	if stallWindow == 0 {
+		stallWindow = defaultStallWindow
+	}
+	if stallWindow > 0 {
+		consider(e.lastProgressAt + stallWindow)
+	}
+	if e.maxCycles > 0 {
+		consider(e.maxCycles)
+	}
+	if e.ctx != nil {
+		// Land exactly on the poll boundary so a cancellation aborts at the
+		// same cycle the legacy loop would observe it.
+		consider(e.nextCtxCheck)
+	}
+	if next < 0 {
+		next = e.clock + 1
+	}
+	if stopAt >= 0 && next > stopAt {
+		next = stopAt // the legacy loop ticks stopAt itself before pausing
+	}
+	return next
+}
+
+// runUntilEvent is runUntil's discrete-event implementation. The loop body
+// mirrors the legacy cycle loop's phase order exactly — stop check, idle
+// jump, admission, issue, clock advance, memory tick, watchdog, retire,
+// dependency drain — with the clock advancing to the next event instead of
+// by one.
+func (e *engine) runUntilEvent(stopAt int64) (bool, error) {
+	e.start()
+	e.drainReady()
+	for len(e.waiting) > 0 || len(e.running) > 0 {
+		if stopAt >= 0 && e.clock >= stopAt {
+			e.settleParked(e.clock - 1)
+			return false, nil
+		}
+		// Admit transfers whose start time has arrived; if idle, jump (but
+		// never past the stop point). Nothing is parked when running is
+		// empty, so the jump needs no settle.
+		if len(e.running) == 0 && len(e.waiting) > 0 && e.waiting[0].start > e.clock {
+			jump := e.waiting[0].start
+			if stopAt >= 0 && jump > stopAt {
+				jump = stopAt
+			}
+			e.clock = jump
+			e.lastProgressAt = e.clock // a jump is forward progress
+			if stopAt >= 0 && e.clock >= stopAt {
+				return false, nil
+			}
+		}
+		for len(e.waiting) > 0 && e.waiting[0].start <= e.clock {
+			a := heap.Pop(&e.waiting).(*activity)
+			rx := &runningXfer{act: a, lastBusy: -1, seq: e.nextSeq}
+			rx.done = e.burstDone(rx)
+			e.nextSeq++
+			e.running = append(e.running, rx)
+			e.active = append(e.active, rx) // seqs ascend; order preserved
+			e.lastProgressAt = e.clock      // admission is forward progress
+		}
+		canIssue := e.issueBurstsEvent()
+		e.clock = e.nextEventCycle(stopAt, canIssue)
+		e.steps++
+		e.dram.Tick(e.clock)
+		e.wakeParked()
+		if err := e.checkWatchdog(); err != nil {
+			e.settleParked(e.clock - 1)
+			return false, err
+		}
+		if e.retireNeeded {
+			e.retireNeeded = false
+			e.retire()
+		}
+		e.drainReady()
+		if e.insts != nil {
+			e.insts.queueDepth.Set(int64(e.dram.EventCount() + len(e.waiting)))
+		}
+	}
+	return true, nil
+}
+
+// drainInFlightEvent is drainInFlight's discrete-event implementation: jump
+// between memory-system events until quiescent, issuing nothing, with the
+// watchdog's deadlines still armed. Parked transfers accrue no stall
+// counters during a drain (the legacy drain never attempts submissions);
+// their accounting resumes at the post-drain clock.
+func (e *engine) drainInFlightEvent() (QuiesceState, int64, error) {
+	q := e.quiesceState()
+	from := e.clock
+	for !e.quiescent() {
+		next := int64(-1)
+		consider := func(v int64) {
+			if v <= e.clock {
+				v = e.clock + 1
+			}
+			if next < 0 || v < next {
+				next = v
+			}
+		}
+		if at := e.dram.NextEventAt(e.clock); at >= 0 {
+			consider(at)
+		}
+		stallWindow := e.stallWindow
+		if stallWindow == 0 {
+			stallWindow = defaultStallWindow
+		}
+		if stallWindow > 0 {
+			consider(e.lastProgressAt + stallWindow)
+		}
+		if e.maxCycles > 0 {
+			consider(e.maxCycles)
+		}
+		if e.ctx != nil {
+			consider(e.nextCtxCheck)
+		}
+		if next < 0 {
+			next = e.clock + 1
+		}
+		e.clock = next
+		e.steps++
+		e.dram.Tick(e.clock)
+		if err := e.checkWatchdog(); err != nil {
+			return q, e.clock - from, err
+		}
+		if e.retireNeeded {
+			e.retireNeeded = false
+			e.retire()
+		}
+	}
+	// Transfers finishing exactly at the drain boundary retire here so the
+	// checkpoint sees them resolved.
+	e.retire()
+	for _, group := range e.parked {
+		for _, rx := range group {
+			rx.accountedThrough = e.clock - 1
+		}
+	}
+	return q, e.clock - from, nil
+}
+
+// rebuildEventState re-derives the event core's indexes after a checkpoint
+// restore: every running transfer starts active, so the first issue pass
+// attempts them all at the resume cycle — exactly what the legacy loop does
+// — and re-parks the ones that cannot act.
+func (e *engine) rebuildEventState() {
+	e.active = e.active[:0]
+	e.parked = nil
+	e.activeDirty = false
+	e.retireNeeded = false
+	e.nextSeq = 0
+	for _, rx := range e.running {
+		rx.seq = e.nextSeq
+		e.nextSeq++
+		rx.state = rxActive
+		rx.accountedThrough = e.clock - 1
+		e.active = append(e.active, rx)
+	}
+}

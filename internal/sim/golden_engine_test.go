@@ -1,0 +1,180 @@
+package sim
+
+import (
+	"bytes"
+	"context"
+	"reflect"
+	"testing"
+
+	"plasticine/internal/arch"
+	"plasticine/internal/compiler"
+	"plasticine/internal/dram"
+	"plasticine/internal/fault"
+	"plasticine/internal/trace"
+	"plasticine/internal/workloads"
+)
+
+// This file is the event core's byte-identity contract, enforced: every
+// Table 4 benchmark runs through both scheduling cores and every observable
+// — cycle count, DRAM counters, trace report, pattern rollup, checkpoint
+// bytes, recovery decomposition — must match exactly. The legacy cycle loop
+// is the oracle; any divergence is an event-core bug by definition.
+
+// goldenRun executes one benchmark under the given engine with a collector
+// armed and returns everything observable about the run.
+func goldenRun(t *testing.T, b workloads.Benchmark, kind EngineKind) (*Result, *trace.Report, *trace.PatternReport) {
+	t.Helper()
+	prog, err := b.Build()
+	if err != nil {
+		t.Fatalf("%s: build: %v", b.Name(), err)
+	}
+	m, err := compiler.Compile(prog, arch.Default())
+	if err != nil {
+		t.Fatalf("%s: compile: %v", b.Name(), err)
+	}
+	col := trace.NewCollector()
+	res, st, err := Simulate(context.Background(), m, Options{Engine: kind, Recorder: col})
+	if err != nil {
+		t.Fatalf("%s: simulate (%v engine): %v", b.Name(), kind, err)
+	}
+	if err := b.Check(st); err != nil {
+		t.Fatalf("%s (%v engine): %v", b.Name(), kind, err)
+	}
+	return res, col.Report(), col.PatternReport(b.Name())
+}
+
+// TestEngineGoldenIdentity runs every Table 4 benchmark through the event
+// core and the cycle-by-cycle oracle and requires identical cycle counts,
+// DRAM counter sets, trace reports and pattern rollups.
+func TestEngineGoldenIdentity(t *testing.T) {
+	for _, b := range workloads.All() {
+		b := b
+		t.Run(b.Name(), func(t *testing.T) {
+			t.Parallel()
+			evRes, evRep, evPat := goldenRun(t, b, EngineEvent)
+			cyRes, cyRep, cyPat := goldenRun(t, b, EngineCycle)
+			if evRes.Cycles != cyRes.Cycles {
+				t.Errorf("cycles: event %d, cycle %d", evRes.Cycles, cyRes.Cycles)
+			}
+			if evRes.Activities != cyRes.Activities {
+				t.Errorf("activities: event %d, cycle %d", evRes.Activities, cyRes.Activities)
+			}
+			if !reflect.DeepEqual(evRes.DRAM, cyRes.DRAM) {
+				t.Errorf("dram stats diverge:\nevent %+v\ncycle %+v", evRes.DRAM, cyRes.DRAM)
+			}
+			if !reflect.DeepEqual(evRep, cyRep) {
+				t.Errorf("trace reports diverge:\nevent %+v\ncycle %+v", evRep, cyRep)
+			}
+			if !reflect.DeepEqual(evPat, cyPat) {
+				t.Errorf("pattern reports diverge:\nevent %+v\ncycle %+v", evPat, cyPat)
+			}
+		})
+	}
+}
+
+// TestEngineGoldenFaultedIdentity repeats the identity check with the fault
+// model armed (latency spikes + transient retries), which exercises the
+// event core's retry-backoff events and the fault PRNG's draw order.
+func TestEngineGoldenFaultedIdentity(t *testing.T) {
+	faults := &dram.Faults{Seed: 11, SpikeProb: 0.05, SpikeCycles: 40,
+		TransientProb: 0.02, MaxRetries: 4, RetryBackoff: 8}
+	run := func(kind EngineKind) *Result {
+		m, _, _ := recoverySetup(t, nil)
+		res, _, err := Simulate(context.Background(), m, Options{Engine: kind, Faults: faults})
+		if err != nil {
+			t.Fatalf("%v engine: %v", kind, err)
+		}
+		return res
+	}
+	ev, cy := run(EngineEvent), run(EngineCycle)
+	if ev.Cycles != cy.Cycles {
+		t.Errorf("cycles: event %d, cycle %d", ev.Cycles, cy.Cycles)
+	}
+	if !reflect.DeepEqual(ev.DRAM, cy.DRAM) {
+		t.Errorf("dram stats diverge:\nevent %+v\ncycle %+v", ev.DRAM, cy.DRAM)
+	}
+	if ev.DRAM.Retries == 0 && ev.DRAM.LatencySpikes == 0 {
+		t.Error("fault model never fired; the test exercises nothing")
+	}
+}
+
+// TestEngineGoldenCheckpoint pauses both engines at the same mid-run cycle,
+// drains, and requires the encoded checkpoints to be byte-identical — the
+// strictest equivalence the simulator can express, covering every clock,
+// counter, queue, bank, PRNG and in-flight request field.
+func TestEngineGoldenCheckpoint(t *testing.T) {
+	snap := func(kind EngineKind) []byte {
+		m, _, _ := recoverySetup(t, nil)
+		eng, _, err := prepare(m, Options{Engine: kind})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fin, err := eng.runUntil(700); err != nil {
+			t.Fatalf("%v engine: %v", kind, err)
+		} else if fin {
+			t.Fatalf("%v engine: finished before the pause cycle", kind)
+		}
+		if _, _, err := eng.drainInFlight(); err != nil {
+			t.Fatalf("%v engine: drain: %v", kind, err)
+		}
+		return eng.checkpoint().Encode()
+	}
+	ev, cy := snap(EngineEvent), snap(EngineCycle)
+	if !bytes.Equal(ev, cy) {
+		t.Fatalf("checkpoints diverge: event %d bytes, cycle %d bytes (or same size, different content)", len(ev), len(cy))
+	}
+}
+
+// TestEngineGoldenRecovery survives the same kill-channel plan under both
+// engines and requires identical makespans, DRAM counters and per-event
+// recovery decompositions (pause cycle, drain cost, lost bursts,
+// reconfiguration stall).
+func TestEngineGoldenRecovery(t *testing.T) {
+	run := func(kind EngineKind) *Result {
+		plan, err := fault.NewPlan(fault.Spec{Seed: 2,
+			Events: []fault.EventSpec{{Kind: fault.KillChan, Cycle: 300}}}, arch.Default())
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, total, want := recoverySetup(t, plan)
+		res, st, err := Simulate(context.Background(), m, Options{Engine: kind, Recovery: true})
+		if err != nil {
+			t.Fatalf("%v engine: %v", kind, err)
+		}
+		checkDot(t, st, total, want)
+		if res.Recovery == nil || len(res.Recovery.Events) == 0 {
+			t.Fatalf("%v engine: no recovery events recorded", kind)
+		}
+		return res
+	}
+	ev, cy := run(EngineEvent), run(EngineCycle)
+	if ev.Cycles != cy.Cycles {
+		t.Errorf("cycles: event %d, cycle %d", ev.Cycles, cy.Cycles)
+	}
+	if !reflect.DeepEqual(ev.DRAM, cy.DRAM) {
+		t.Errorf("dram stats diverge:\nevent %+v\ncycle %+v", ev.DRAM, cy.DRAM)
+	}
+	if !reflect.DeepEqual(ev.Recovery, cy.Recovery) {
+		t.Errorf("recovery decompositions diverge:\nevent %+v\ncycle %+v", ev.Recovery, cy.Recovery)
+	}
+}
+
+// TestWatchdogToleratesLongMemoryGap: a latency spike far longer than the
+// stall window is a long wait, not a livelock — the memory system still
+// holds the spiked burst, so the event-time-aware watchdog must let the run
+// finish. Both engines must agree (the legacy loop shares checkWatchdog).
+func TestWatchdogToleratesLongMemoryGap(t *testing.T) {
+	faults := &dram.Faults{Seed: 3, SpikeProb: 1.0, SpikeCycles: 400}
+	for _, kind := range []EngineKind{EngineEvent, EngineCycle} {
+		m, total, want := recoverySetup(t, nil)
+		res, st, err := Simulate(context.Background(), m, Options{
+			Engine: kind, Faults: faults, StallWindow: 64})
+		if err != nil {
+			t.Fatalf("%v engine: spiked run tripped the stall detector: %v", kind, err)
+		}
+		checkDot(t, st, total, want)
+		if res.DRAM.LatencySpikes == 0 {
+			t.Fatalf("%v engine: no spikes fired; the test exercises nothing", kind)
+		}
+	}
+}

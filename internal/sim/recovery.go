@@ -52,8 +52,26 @@ type RecoveryStats struct {
 // against an event-free run of the same plan.
 func (s *RecoveryStats) Overhead() int64 { return s.DrainCycles + s.ReconfigCycles }
 
-// RunWithRecovery simulates a compiled program whose fault plan schedules
-// timed mid-run events, surviving each one:
+// RunWithRecovery simulates a compiled program, surviving the fault plan's
+// timed mid-run events.
+//
+// Deprecated: use Simulate(context.Background(), m, opts) with
+// Options.Recovery set.
+func RunWithRecovery(m *compiler.Mapping, opts Options) (*Result, *dhdl.State, error) {
+	return RunWithRecoveryCtx(context.Background(), m, opts)
+}
+
+// RunWithRecoveryCtx is RunWithRecovery under a context.
+//
+// Deprecated: use Simulate(ctx, m, opts) with Options.Recovery set.
+func RunWithRecoveryCtx(ctx context.Context, m *compiler.Mapping, opts Options) (*Result, *dhdl.State, error) {
+	opts.Recovery = true
+	return Simulate(ctx, m, opts)
+}
+
+// runRecovery simulates a compiled program whose fault plan schedules
+// timed mid-run events (Simulate guarantees there is at least one),
+// surviving each one:
 //
 //  1. run to the event's cycle (a loop boundary);
 //  2. land the fault — a killed DRAM channel drops its queued and in-flight
@@ -64,26 +82,15 @@ func (s *RecoveryStats) Overhead() int64 { return s.DrainCycles + s.ReconfigCycl
 //     faults only) and charge the reconfiguration stall;
 //  6. restore into a fresh engine and continue.
 //
-// A plan with no timed events (or a nil plan) delegates to RunOpts and is
-// bit-identical to it. A fault the mapping cannot be repaired around
-// (wrapping compiler.ErrInsufficient or compiler.ErrNoRoute) fails the run.
-func RunWithRecovery(m *compiler.Mapping, opts Options) (*Result, *dhdl.State, error) {
-	return RunWithRecoveryCtx(context.Background(), m, opts)
-}
-
-// RunWithRecoveryCtx is RunWithRecovery under a context, with the same
-// cancellation semantics as RunCtx: the engine polls ctx periodically and a
-// canceled run aborts with a *WatchdogError carrying the context error.
-func RunWithRecoveryCtx(ctx context.Context, m *compiler.Mapping, opts Options) (*Result, *dhdl.State, error) {
+// A fault the mapping cannot be repaired around (wrapping
+// compiler.ErrInsufficient or compiler.ErrNoRoute) fails the run.
+func runRecovery(ctx context.Context, m *compiler.Mapping, opts Options) (*Result, *dhdl.State, error) {
 	events := m.Faults.Events()
-	if len(events) == 0 {
-		return RunCtx(ctx, m, opts)
-	}
-	t0 := time.Now()
 	eng, st, err := prepare(m, opts)
 	if err != nil {
 		return nil, nil, err
 	}
+	t0 := time.Now()
 	eng.ctx = ctx
 	plan := m.Faults
 	rec := &RecoveryStats{}
@@ -152,7 +159,8 @@ func RunWithRecoveryCtx(ctx context.Context, m *compiler.Mapping, opts Options) 
 		fresh := &engine{acts: eng.acts, dram: eng.dram,
 			units: eng.units, rec: eng.rec,
 			maxCycles: eng.maxCycles, stallWindow: eng.stallWindow,
-			ctx: eng.ctx, nextCtxCheck: eng.nextCtxCheck}
+			ctx: eng.ctx, nextCtxCheck: eng.nextCtxCheck,
+			mode: eng.mode, insts: eng.insts, steps: eng.steps}
 		if err := fresh.restore(cp); err != nil {
 			return nil, nil, fmt.Errorf("sim: recovery at cycle %d: %s: %w", eng.clock, ev, err)
 		}
@@ -167,6 +175,7 @@ func RunWithRecoveryCtx(ctx context.Context, m *compiler.Mapping, opts Options) 
 	if err != nil {
 		return nil, nil, err
 	}
+	eng.observeRun(cycles)
 	eng.emitTrace(m, recoveryWindows(rec))
 	res := buildResult(m, eng, cycles, t0)
 	res.Recovery = rec

@@ -30,7 +30,9 @@ type Result struct {
 	// timed mid-run faults (nil on uninterrupted runs).
 	Recovery *RecoveryStats
 
-	// WallTime is host time spent simulating.
+	// WallTime is host time spent resolving the timed schedule (the engine
+	// proper — excludes the one-off functional trace and graph construction,
+	// which are execution, not cycle-level simulation).
 	WallTime time.Duration
 }
 
@@ -56,6 +58,32 @@ func (r *Result) EffectiveBandwidth() float64 {
 		return 0
 	}
 	return float64(r.DRAM.BytesRead+r.DRAM.BytesWritten) / r.Seconds
+}
+
+// EngineKind selects Simulate's scheduling core.
+type EngineKind int
+
+const (
+	// EngineEvent is the discrete-event core and the default: the engine
+	// computes the next state-changing cycle (burst completion, retry expiry,
+	// refresh, transfer admission, watchdog deadline) and jumps straight to
+	// it, so quiescent stretches cost nothing. Results are byte-identical to
+	// EngineCycle.
+	EngineEvent EngineKind = iota
+	// EngineCycle is the legacy cycle-by-cycle loop, kept as the reference
+	// oracle the event core is differentially tested against.
+	EngineCycle
+)
+
+func (k EngineKind) String() string {
+	switch k {
+	case EngineEvent:
+		return "event"
+	case EngineCycle:
+		return "cycle"
+	default:
+		return fmt.Sprintf("EngineKind(%d)", int(k))
+	}
 }
 
 // Options tune simulator behaviour for ablation studies.
@@ -86,14 +114,41 @@ type Options struct {
 	// stall attribution, link traffic, DRAM channel counters). Nil disables
 	// tracing at zero cost; see internal/trace.
 	Recorder trace.Recorder
+
+	// Recovery survives the mapping's timed mid-run fault events (drain,
+	// checkpoint, repair, restore — see the recovery protocol in
+	// recovery.go) instead of simulating an event-free run. With no timed
+	// events in the plan this is a no-op and the run is bit-identical to a
+	// plain one.
+	Recovery bool
+	// Engine selects the scheduling core. The zero value, EngineEvent, is
+	// the discrete-event core; EngineCycle forces the legacy cycle-by-cycle
+	// reference loop. Both produce byte-identical results.
+	Engine EngineKind
 }
 
-// Run simulates a compiled program. All of the program's DRAM buffers must
-// be bound to collections; the functional results land in those collections
-// and the returned state, exactly as in dhdl.Run, while the returned Result
-// carries the cycle-level timing.
+// Simulate runs a compiled program and is the one simulator entry point: the
+// context bounds the run (cancellation surfaces as a *WatchdogError whose
+// Cause is ctx.Err()), and Options selects everything else — ablations,
+// fault injection, watchdog budgets, tracing, the recovery protocol and the
+// scheduling core. All of the program's DRAM buffers must be bound to
+// collections; the functional results land in those collections and the
+// returned state, while the returned Result carries the cycle-level timing.
+func Simulate(ctx context.Context, m *compiler.Mapping, opts Options) (*Result, *dhdl.State, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if opts.Recovery && len(m.Faults.Events()) > 0 {
+		return runRecovery(ctx, m, opts)
+	}
+	return runPlain(ctx, m, opts)
+}
+
+// Run simulates a compiled program with default options.
+//
+// Deprecated: use Simulate(context.Background(), m, Options{}).
 func Run(m *compiler.Mapping) (*Result, *dhdl.State, error) {
-	return RunOpts(m, Options{})
+	return Simulate(context.Background(), m, Options{})
 }
 
 // prepare runs the functional trace, builds the timed activity graph, and
@@ -127,7 +182,8 @@ func prepare(m *compiler.Mapping, opts Options) (*engine, *dhdl.State, error) {
 		return nil, nil, err
 	}
 	return &engine{acts: b.acts, dram: ddr, units: b.units, rec: opts.Recorder,
-		maxCycles: opts.MaxCycles, stallWindow: opts.StallWindow}, st, nil
+		maxCycles: opts.MaxCycles, stallWindow: opts.StallWindow,
+		mode: opts.Engine, insts: simMetrics.Load()}, st, nil
 }
 
 // buildResult assembles the Result for a finished engine.
@@ -151,24 +207,35 @@ func buildResult(m *compiler.Mapping, e *engine, cycles int64, t0 time.Time) *Re
 }
 
 // RunOpts is Run with ablation options.
+//
+// Deprecated: use Simulate(context.Background(), m, opts).
 func RunOpts(m *compiler.Mapping, opts Options) (*Result, *dhdl.State, error) {
-	return RunCtx(context.Background(), m, opts)
+	return Simulate(context.Background(), m, opts)
 }
 
-// RunCtx is RunOpts under a context: the engine polls ctx periodically (see
-// ctxCheckInterval) and a canceled run aborts with a *WatchdogError whose
-// Cause is the context error, so errors.Is(err, context.Canceled) holds.
+// RunCtx is RunOpts under a context.
+//
+// Deprecated: use Simulate(ctx, m, opts).
 func RunCtx(ctx context.Context, m *compiler.Mapping, opts Options) (*Result, *dhdl.State, error) {
-	t0 := time.Now()
+	return Simulate(ctx, m, opts)
+}
+
+// runPlain simulates an uninterrupted run: the engine polls ctx periodically
+// (see ctxCheckInterval) and a canceled run aborts with a *WatchdogError
+// whose Cause is the context error, so errors.Is(err, context.Canceled)
+// holds.
+func runPlain(ctx context.Context, m *compiler.Mapping, opts Options) (*Result, *dhdl.State, error) {
 	eng, st, err := prepare(m, opts)
 	if err != nil {
 		return nil, nil, err
 	}
+	t0 := time.Now()
 	eng.ctx = ctx
 	cycles, err := eng.run()
 	if err != nil {
 		return nil, nil, err
 	}
+	eng.observeRun(cycles)
 	eng.emitTrace(m, nil)
 	return buildResult(m, eng, cycles, t0), st, nil
 }

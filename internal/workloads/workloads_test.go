@@ -1,6 +1,7 @@
 package workloads
 
 import (
+	"context"
 	"testing"
 
 	"plasticine/internal/arch"
@@ -73,7 +74,7 @@ func TestSimulated(t *testing.T) {
 			if err != nil {
 				t.Fatalf("compile: %v", err)
 			}
-			res, st, err := sim.Run(m)
+			res, st, err := sim.Simulate(context.Background(), m, sim.Options{})
 			if err != nil {
 				t.Fatalf("simulate: %v", err)
 			}

@@ -1,13 +1,17 @@
 // Command bench-diff compares two BENCH_sim.json documents (schema
 // plasticine-bench-sim/v1) and fails when any benchmark's simulated cycle
 // count regressed beyond a threshold. It is the CI perf-regression gate:
-// cycle counts are deterministic, so any drift is a real behaviour change,
-// while wall-clock throughput (host-dependent) is reported but never gated.
+// cycle counts are deterministic, so any drift is a real behaviour change.
+// Wall-clock throughput (cycles_per_second, host-dependent) is reported as
+// a delta column and, with -min-cps, gated against an absolute floor — a
+// coarse bound that catches order-of-magnitude scheduling-core regressions
+// without flaking on host noise.
 //
-//	go run ./tools/bench-diff [-threshold 0.0] base.json new.json
+//	go run ./tools/bench-diff [-threshold 0.0] [-min-cps 0] base.json new.json
 //
-// Exit status: 0 when every benchmark is within threshold, 1 on regression
-// or schema mismatch, 2 on usage errors.
+// Exit status: 0 when every benchmark is within threshold (and above the
+// throughput floor, when set), 1 on regression or schema mismatch, 2 on
+// usage errors.
 package main
 
 import (
@@ -23,8 +27,10 @@ func main() {
 	fs := flag.NewFlagSet("bench-diff", flag.ExitOnError)
 	threshold := fs.Float64("threshold", 0.0,
 		"allowed fractional cycle-count regression per benchmark (0.02 = 2%)")
+	minCPS := fs.Float64("min-cps", 0,
+		"minimum simulated cycles per host second each new-document benchmark must sustain (0 = no throughput gate)")
 	fs.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: bench-diff [-threshold frac] <base.json> <new.json>")
+		fmt.Fprintln(os.Stderr, "usage: bench-diff [-threshold frac] [-min-cps cps] <base.json> <new.json>")
 		fs.PrintDefaults()
 	}
 	fs.Parse(os.Args[1:])
@@ -52,11 +58,19 @@ func main() {
 		baseBy[r.Benchmark] = r
 	}
 	regressions := 0
-	fmt.Printf("%-14s %12s %12s %9s\n", "benchmark", "base cycles", "new cycles", "delta")
+	fmt.Printf("%-14s %12s %12s %9s %11s %9s\n",
+		"benchmark", "base cycles", "new cycles", "delta", "Mcyc/s", "cps delta")
 	for _, r := range cur.Results {
+		cps := fmt.Sprintf("%11.2f", r.CyclesPerSec/1e6)
+		slow := ""
+		if *minCPS > 0 && r.CyclesPerSec < *minCPS {
+			slow = "  TOO SLOW"
+			regressions++
+		}
 		b, ok := baseBy[r.Benchmark]
 		if !ok {
-			fmt.Printf("%-14s %12s %12d %9s  (new benchmark)\n", r.Benchmark, "-", r.Cycles, "-")
+			fmt.Printf("%-14s %12s %12d %9s %s %9s  (new benchmark)%s\n",
+				r.Benchmark, "-", r.Cycles, "-", cps, "-", slow)
 			continue
 		}
 		delete(baseBy, r.Benchmark)
@@ -66,15 +80,20 @@ func main() {
 			mark = "  REGRESSION"
 			regressions++
 		}
-		fmt.Printf("%-14s %12d %12d %+8.2f%%%s\n", r.Benchmark, b.Cycles, r.Cycles, 100*delta, mark)
+		cpsDelta := "        -"
+		if b.CyclesPerSec > 0 {
+			cpsDelta = fmt.Sprintf("%+8.1f%%", 100*(r.CyclesPerSec-b.CyclesPerSec)/b.CyclesPerSec)
+		}
+		fmt.Printf("%-14s %12d %12d %+8.2f%% %s %s%s%s\n",
+			r.Benchmark, b.Cycles, r.Cycles, 100*delta, cps, cpsDelta, mark, slow)
 	}
 	for name := range baseBy {
 		fmt.Printf("%-14s dropped from the new results  REGRESSION\n", name)
 		regressions++
 	}
 	if regressions > 0 {
-		fmt.Fprintf(os.Stderr, "bench-diff: %d benchmark(s) regressed beyond %.2f%%\n",
-			regressions, 100**threshold)
+		fmt.Fprintf(os.Stderr, "bench-diff: %d benchmark(s) regressed (cycle threshold %.2f%%, throughput floor %.0f cyc/s)\n",
+			regressions, 100**threshold, *minCPS)
 		os.Exit(1)
 	}
 	fmt.Println("bench-diff: ok")
